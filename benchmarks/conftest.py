@@ -1,0 +1,26 @@
+"""Shared state for the figure-reproduction benches.
+
+One :class:`ExperimentCache` spans the whole bench session, so figures
+that reuse the same runs (1, 4, 5, 6, 8 all share the 16-thread suite
+sweep) only simulate each (benchmark, N, machine) point once.
+
+``REPRO_SCALE`` (default 1.0) scales the workloads down for quick
+smoke runs of the harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import ExperimentCache, default_scale
+
+
+@pytest.fixture(scope="session")
+def cache() -> ExperimentCache:
+    return ExperimentCache(scale=default_scale())
+
+
+def print_artifact(title: str, body: str) -> None:
+    """Print one reproduced table/figure under a banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,230 @@
+"""Ablations of the accounting architecture's design choices.
+
+The paper makes several design decisions; these benches quantify them:
+
+* **spin detector** — Tian et al. (load-watch, chosen for its simpler
+  hardware) versus Li et al. (backward branches), Section 4.3;
+* **ATD set sampling** — the hardware monitors only a few LLC sets and
+  extrapolates (Section 4.1); sparser sampling trades accuracy for
+  hardware cost;
+* **coherency accounting** — the paper deliberately does not account
+  coherency misses, arguing out-of-order cores hide them (Section 4.5),
+  but describes a tag-hit-on-invalid detector; we implement it as an
+  optional extension and measure what it would add;
+* **spin-then-yield budget** — how long the synchronization library
+  spins before blocking shifts time between the spinning and yielding
+  components (Sections 4.3-4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import print_artifact
+from repro.accounting.hardware_cost import HardwareCostParams, estimate_cost
+from repro.config import AccountingConfig, MachineConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import default_scale
+from repro.workloads.spec import build_program
+from repro.workloads.suite import by_name
+
+
+def _run(spec, machine, scale):
+    return run_experiment(
+        spec.full_name, machine,
+        build_program(spec, machine.n_cores, scale=scale),
+        build_program(spec, 1, scale=scale),
+    )
+
+
+def test_ablation_spin_detector(benchmark, cache):
+    """Tian vs Li on the spin-dominated benchmark."""
+    spec = by_name("cholesky")
+    scale = cache.scale
+
+    def run_both():
+        results = {}
+        for detector in ("tian", "li"):
+            machine = replace(
+                MachineConfig(n_cores=16),
+                accounting=AccountingConfig(spin_detector=detector),
+            )
+            results[detector] = _run(spec, machine, scale)
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lines = []
+    for detector, result in results.items():
+        stack = result.stack
+        lines.append(
+            f"{detector:5s}: spin={stack.spinning:5.2f} "
+            f"yield={stack.yielding:5.2f} "
+            f"est={stack.estimated_speedup:5.2f} "
+            f"err={stack.estimation_error * 100:+5.1f}%"
+        )
+    print_artifact("Ablation: spin detector (cholesky, 16 threads)",
+                   "\n".join(lines))
+
+    tian = results["tian"].stack
+    li = results["li"].stack
+    # Both detectors find a substantial spinning component.
+    assert tian.spinning > 1.0
+    assert li.spinning > 1.0
+    # They agree within a factor of two (different mechanisms, same
+    # phenomenon) and both keep the estimate in a sane range.
+    ratio = tian.spinning / li.spinning
+    assert 0.4 < ratio < 2.5
+    assert abs(li.estimation_error) < 0.35
+
+
+def test_ablation_atd_sampling(benchmark, cache):
+    """Accuracy vs hardware cost of ATD set sampling."""
+    spec = by_name("facesim_small")
+    scale = cache.scale
+    periods = (1, 8, 64)
+
+    def run_sweep():
+        out = {}
+        for period in periods:
+            machine = replace(
+                MachineConfig(n_cores=16),
+                accounting=AccountingConfig(atd_sample_period=period),
+            )
+            out[period] = _run(spec, machine, scale)
+        return out
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = []
+    for period, result in results.items():
+        stack = result.stack
+        n_sets = MachineConfig().llc.n_sets // period
+        cost = estimate_cost(
+            MachineConfig(n_cores=16),
+            HardwareCostParams(atd_sampled_sets=min(n_sets, 2048)),
+        )
+        lines.append(
+            f"period {period:3d} ({n_sets:4d} sets): "
+            f"cache={stack.net_negative_llc:5.2f} "
+            f"err={stack.estimation_error * 100:+5.1f}%  "
+            f"atd={cost.atd_bytes}B/core"
+        )
+    print_artifact("Ablation: ATD sampling period (facesim_small)",
+                   "\n".join(lines))
+
+    full = results[1].stack
+    for period, result in results.items():
+        stack = result.stack
+        # The extrapolated cache component stays within ~1.5 speedup
+        # units of the full-tag-directory ground truth even at the
+        # sparsest sampling, and the overall estimate stays accurate.
+        assert stack.net_negative_llc == pytest.approx(
+            full.net_negative_llc, abs=1.5
+        )
+        assert abs(stack.estimation_error) < 0.2
+
+
+def test_ablation_coherency_accounting(benchmark, cache):
+    """The Section 4.5 optional coherency-miss accounting."""
+    spec = by_name("cholesky")
+    scale = cache.scale
+
+    def run_both():
+        out = {}
+        for enabled in (False, True):
+            machine = replace(
+                MachineConfig(n_cores=16),
+                accounting=AccountingConfig(account_coherency=enabled),
+            )
+            out[enabled] = _run(spec, machine, scale)
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    off, on = results[False].stack, results[True].stack
+    print_artifact(
+        "Ablation: coherency accounting (cholesky)",
+        f"off: coherency={off.coherency:5.2f} "
+        f"err={off.estimation_error * 100:+5.1f}%\n"
+        f"on : coherency={on.coherency:5.2f} "
+        f"err={on.estimation_error * 100:+5.1f}%",
+    )
+
+    # Disabled by default (the paper's choice): component is zero.
+    assert off.coherency == 0.0
+    # Enabled: a sharing-heavy benchmark shows real coherency stalls.
+    assert on.coherency > 0.05
+    # Accounting them lowers the (over-)estimated speedup, moving the
+    # estimate toward the actual value for this over-estimating case.
+    assert on.estimated_speedup < off.estimated_speedup
+    assert abs(on.estimation_error) <= abs(off.estimation_error) + 0.01
+
+
+def test_ablation_llc_replacement(benchmark, cache):
+    """LLC replacement policy under cache interference.
+
+    The paper's machine uses LRU.  The interference components are a
+    property of sharing, not of the policy — they must appear under
+    FIFO and random replacement too, with LRU no worse than random for
+    the reuse-heavy workload."""
+    spec = by_name("facesim_small")
+    scale = cache.scale
+    policies = ("lru", "fifo", "random")
+
+    def run_sweep():
+        out = {}
+        for policy in policies:
+            base = MachineConfig(n_cores=16)
+            machine = replace(
+                base, llc=replace(base.llc, replacement=policy),
+            )
+            out[policy] = _run(spec, machine, scale)
+        return out
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"{policy:6s}: S={r.stack.actual_speedup:5.2f} "
+        f"cache={r.stack.net_negative_llc:5.2f} "
+        f"err={r.stack.estimation_error * 100:+5.1f}%"
+        for policy, r in results.items()
+    ]
+    print_artifact("Ablation: LLC replacement policy (facesim_small)",
+                   "\n".join(lines))
+
+    for policy, result in results.items():
+        # interference is present and the estimate stays sane under
+        # every policy (the ATD mirrors whatever policy the LLC uses
+        # in its own LRU approximation)
+        assert result.stack.net_negative_llc > 0.2, policy
+        assert abs(result.stack.estimation_error) < 0.2, policy
+    # LRU keeps at least as much of the working set as random
+    assert (results["lru"].stack.actual_speedup
+            >= results["random"].stack.actual_speedup - 0.4)
+
+
+def test_ablation_spin_budget(benchmark, cache):
+    """Spin-then-yield budget: spinning trades against yielding."""
+    base = by_name("cholesky")
+    scale = cache.scale
+    budgets = (24, 180, 1200)
+
+    def run_sweep():
+        out = {}
+        for budget in budgets:
+            spec = replace(base, spin_threshold=budget)
+            out[budget] = _run(spec, MachineConfig(n_cores=16), scale)
+        return out
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"budget {budget:5d}: spin={r.stack.spinning:5.2f} "
+        f"yield={r.stack.yielding:5.2f} S={r.stack.actual_speedup:5.2f}"
+        for budget, r in results.items()
+    ]
+    print_artifact("Ablation: spin budget (cholesky)", "\n".join(lines))
+
+    spins = [results[b].stack.spinning for b in budgets]
+    yields = [results[b].stack.yielding for b in budgets]
+    # Longer spin budgets shift waiting time from yielding to spinning.
+    assert spins[0] < spins[-1]
+    assert yields[0] > yields[-1]

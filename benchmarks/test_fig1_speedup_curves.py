@@ -1,0 +1,45 @@
+"""Figure 1 — speedup as a function of the number of cores.
+
+Paper: blackscholes scales almost linearly to ~16x, while facesim and
+cholesky flatten out around 5-5.5x at 16 threads.  The reproduction
+must show the same separation: one near-linear scaler and two that
+saturate near a third of linear.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.core.rendering import render_speedup_curve
+from repro.experiments.scenarios import speedup_curves
+from repro.workloads.suite import by_name
+
+
+def test_fig1_speedup_curves(benchmark, cache):
+    curves = benchmark.pedantic(
+        speedup_curves, args=(cache,), rounds=1, iterations=1
+    )
+    print_artifact(
+        "Figure 1: speedup vs. number of threads",
+        render_speedup_curve(curves),
+    )
+
+    blackscholes = curves["blackscholes_medium"]
+    facesim = curves["facesim_medium"]
+    cholesky = curves["cholesky"]
+
+    # Shape: monotone scaling for all three.
+    for curve in (blackscholes, facesim, cholesky):
+        counts = sorted(curve)
+        values = [curve[n] for n in counts]
+        assert all(b >= a * 0.85 for a, b in zip(values, values[1:]))
+
+    # blackscholes is near-linear: >= 14x at 16 threads (paper: 15.94).
+    assert blackscholes[16] > 14.0
+    # facesim and cholesky saturate around 4.5-6.5x (paper: 5.50, 5.02).
+    assert 4.0 < facesim[16] < 7.0
+    assert 4.0 < cholesky[16] < 7.0
+    # The gap between the good scaler and the saturating ones is large.
+    assert blackscholes[16] > 2 * max(facesim[16], cholesky[16])
+    # ... and at 16 threads facesim and cholesky are close to each other
+    # (the paper's point: similar speedups, different reasons).
+    assert abs(facesim[16] - cholesky[16]) < 1.5

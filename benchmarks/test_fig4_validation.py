@@ -1,0 +1,66 @@
+"""Figure 4 + Section 6 — actual vs estimated speedup, all benchmarks.
+
+Paper: average absolute error of 3.0%, 3.4%, 2.8% and 5.1% for 2, 4, 8
+and 16 threads, with outliers up to ~22% (fluidanimate_medium 22.0%,
+swaptions_small 21.3%, lu.ncont 16.2%, srad 14.8%), largely explained
+by unaccounted parallelization overhead (~26% extra instructions for
+swaptions_small, ~18% for fluidanimate_medium).
+
+Reproduction targets (shape-level): errors of the same order per thread
+count; the accounting identifies scaling degree benchmark by benchmark;
+the same mechanism produces the overhead-driven outliers.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.core.rendering import render_validation_table
+from repro.experiments.scenarios import validation_sweep
+
+
+def test_fig4_validation(benchmark, cache):
+    summary = benchmark.pedantic(
+        validation_sweep, args=(cache,), rounds=1, iterations=1
+    )
+    table = render_validation_table(summary.rows)
+    error_lines = "\n".join(
+        f"  {n:2d} threads: mean |error| = {err * 100:.1f}%   (paper: {paper}%)"
+        for (n, err), paper in zip(
+            summary.error_by_threads.items(), ("3.0", "3.4", "2.8", "5.1")
+        )
+    )
+    print_artifact(
+        "Figure 4: actual vs estimated speedup (all benchmarks, 2-16 threads)",
+        table + "\n\n" + error_lines,
+    )
+
+    # 28 benchmarks x 4 thread counts.
+    assert len(summary.rows) == 28 * 4
+
+    # Error magnitudes in the paper's regime at every thread count.
+    for n_threads, error in summary.error_by_threads.items():
+        assert error < 0.10, f"{n_threads}-thread error {error:.1%}"
+
+    # The 16-thread error lands near the paper's 5.1%.
+    assert summary.error_by_threads[16] < 0.085
+
+    # The estimate identifies the degree of scaling: estimated and
+    # actual speedups correlate strongly across the suite at 16 threads.
+    rows16 = [r for r in summary.rows if r.n_threads == 16]
+    ranked_actual = sorted(rows16, key=lambda r: r.actual_speedup)
+    ranked_est = sorted(rows16, key=lambda r: r.estimated_speedup)
+    # Spearman-style check: good scalers estimated as good.
+    top5_actual = {r.name for r in ranked_actual[-5:]}
+    top8_est = {r.name for r in ranked_est[-8:]}
+    assert len(top5_actual & top8_est) >= 4
+
+    # Section 6: parallelization overhead is measurable and matches the
+    # configured magnitudes for the two outlier benchmarks.
+    overheads = summary.overheads
+    assert overheads["swaptions_small"] > 0.20   # paper: ~26%
+    assert overheads["fluidanimate_medium"] > 0.14  # paper: ~18%
+    # ... and those two have above-median estimation error (the paper's
+    # explanation for its outliers).
+    errors16 = {r.name: r.abs_error for r in rows16}
+    median = sorted(errors16.values())[len(errors16) // 2]
+    assert errors16["swaptions_small"] >= median * 0.9

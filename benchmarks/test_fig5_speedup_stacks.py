@@ -1,0 +1,72 @@
+"""Figure 5 — speedup stacks for blackscholes, facesim and cholesky.
+
+Paper: blackscholes shows no significant scaling bottleneck; facesim's
+main delimiters are yielding, negative LLC interference and memory
+interference; cholesky is dominated by spinning, followed by yielding
+and memory interference, with the largest positive-sharing component
+of the suite; imbalance is ~0 because stacks cover the whole parallel
+fraction.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.core.components import Component
+from repro.core.rendering import render_stack_series
+from repro.experiments.scenarios import stack_series
+from repro.workloads.suite import FIG5_BENCHMARKS
+
+
+def _all_series(cache):
+    return {name: stack_series(cache, name) for name in FIG5_BENCHMARKS}
+
+
+def test_fig5_speedup_stacks(benchmark, cache):
+    series = benchmark.pedantic(
+        _all_series, args=(cache,), rounds=1, iterations=1
+    )
+    body = "\n\n".join(
+        render_stack_series(stacks, title=f"--- {name} ---")
+        for name, stacks in series.items()
+    )
+    print_artifact(
+        "Figure 5: speedup stacks for 2-16 threads", body
+    )
+
+    for stacks in series.values():
+        for stack in stacks:
+            stack.validate_consistency()
+
+    black = series["blackscholes_medium"][-1]   # 16 threads
+    facesim = series["facesim_medium"][-1]
+    cholesky = series["cholesky"][-1]
+
+    # blackscholes: no significant delimiters.
+    assert not black.ranked_delimiters(significance=0.5)
+
+    # facesim: yielding first; LLC and memory interference present.
+    face_ranked = facesim.ranked_delimiters(significance=0.3)
+    assert face_ranked[0][0] == Component.YIELDING
+    face_components = {comp for comp, __ in face_ranked}
+    assert Component.NET_NEGATIVE_LLC in face_components
+    assert Component.NEGATIVE_MEMORY in face_components
+
+    # cholesky: spinning is the dominant delimiter (unlike facesim).
+    chol_ranked = cholesky.ranked_delimiters(significance=0.3)
+    assert chol_ranked[0][0] == Component.SPINNING
+    assert cholesky.spinning > facesim.spinning
+
+    # cholesky has a clear positive-sharing component; its impact is
+    # compensated by negative interference (net >= 0 at 2MB).
+    assert cholesky.positive_llc > 0.1
+    assert cholesky.net_negative_llc > -0.2
+
+    # Imbalance is negligible everywhere (measured between divergence
+    # and convergence of the threads).
+    for stacks in series.values():
+        for stack in stacks:
+            assert stack.imbalance < 0.35
+
+    # Stacks grow with the thread count (height == N).
+    for stacks in series.values():
+        assert [s.n_threads for s in stacks] == [2, 4, 8, 16]

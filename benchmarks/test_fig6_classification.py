@@ -1,0 +1,74 @@
+"""Figure 6 — the benchmark classification tree (Section 7.2).
+
+Paper observations the reproduction must match:
+
+* only a few benchmarks scale well: 5 of 28 reach >= 10x at 16 threads;
+* the poorest performer (ferret_small) is below 3x;
+* yielding is the most significant delimiter — largest component for
+  23 of 28 benchmarks;
+* scaling improves with input size (swaptions small -> medium);
+* cholesky is the spinning-dominated benchmark.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.core.rendering import render_tree
+from repro.experiments.scenarios import classification_tree
+from repro.workloads.suite import SUITE, by_name
+
+
+def test_fig6_classification(benchmark, cache):
+    tree = benchmark.pedantic(
+        classification_tree, args=(cache,), rounds=1, iterations=1
+    )
+    print_artifact("Figure 6: classification tree (16 threads)", render_tree(tree))
+
+    assert len(tree.leaves) == 28
+    by_class = tree.by_class()
+    leaves = {leaf.name: leaf for leaf in tree.leaves}
+
+    # "only few benchmarks scale well: 5 out of the 28"
+    assert 3 <= len(by_class.get("good", [])) <= 7
+    # moderate and poor each hold roughly half of the rest
+    assert len(by_class.get("moderate", [])) >= 8
+    assert len(by_class.get("poor", [])) >= 8
+
+    # the poorest performer shows a speedup below ~3x (paper: ferret 2.94)
+    worst = min(tree.leaves, key=lambda leaf: leaf.speedup)
+    assert worst.speedup < 3.3
+    assert worst.name in ("ferret_small", "bodytrack_small")
+
+    # yielding dominates: largest component for >= 18 benchmarks
+    # (paper: 23 of 28)
+    assert tree.count_with_dominant("yielding") >= 18
+
+    # cholesky is spin-dominated
+    assert leaves["cholesky"].top_components[0] == "spinning"
+
+    # weak scaling: swaptions improves dramatically with input size
+    assert (
+        leaves["swaptions_medium"].speedup
+        > leaves["swaptions_small"].speedup + 5.0
+    )
+
+    # per-benchmark scaling classes match the paper's rows
+    mismatches = [
+        (spec.full_name, leaves[spec.full_name].scaling, spec.expected_class)
+        for spec in SUITE
+        if leaves[spec.full_name].scaling != spec.expected_class
+    ]
+    assert len(mismatches) <= 3, mismatches
+
+    # dominant components match the paper's first-column labels for at
+    # least 24 of the 28 benchmarks
+    matching_top = sum(
+        1 for spec in SUITE
+        if (not spec.expected_top and not leaves[spec.full_name].top_components)
+        or (
+            spec.expected_top
+            and leaves[spec.full_name].top_components[:1]
+            == spec.expected_top[:1]
+        )
+    )
+    assert matching_top >= 24

@@ -1,0 +1,49 @@
+"""Figure 7 — ferret with 16 threads on 2/4/8/16 cores.
+
+Paper: for the 16-thread version of ferret, performance saturates at 8
+cores (16 cores is no better, even slightly worse because the scheduler
+gets less efficient with more cores), and spawning more software
+threads than cores improves performance over threads == cores.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.experiments.scenarios import ferret_core_sweep
+
+
+def test_fig7_ferret_core_sweep(benchmark, cache):
+    matched, oversubscribed = benchmark.pedantic(
+        ferret_core_sweep, args=(cache,), rounds=1, iterations=1
+    )
+    lines = [f"{'cores':>6s}{'threads=cores':>16s}{'16 threads':>14s}"]
+    for m, o in zip(matched, oversubscribed):
+        lines.append(f"{m.n_cores:>6d}{m.speedup:>16.2f}{o.speedup:>14.2f}")
+    print_artifact("Figure 7: ferret, threads vs cores", "\n".join(lines))
+
+    over = {p.n_cores: p.speedup for p in oversubscribed}
+    match = {p.n_cores: p.speedup for p in matched}
+
+    # Oversubscribed performance saturates: 16 cores is not meaningfully
+    # better than 8 (paper: slightly worse at 16 cores).
+    assert over[16] <= over[8] * 1.10
+    # ... and 8 cores is already close to the best the 16-thread version
+    # ever achieves.
+    assert over[8] >= 0.85 * max(over.values())
+
+    # More software threads than cores helps: the 16-thread version
+    # beats threads == cores at every sub-16 core count.
+    assert over[2] >= match[2] * 0.95
+    assert over[4] >= match[4] * 0.95
+    assert over[8] >= match[8] * 0.95
+
+    # The 16-thread curve rises with the core count up to saturation.
+    assert over[2] < over[4] < over[8] <= over[16] * 1.05
+
+    # ferret saturates around ~3x: "the speedup number is an
+    # approximation of the average number of active threads".
+    assert 2.3 < max(over.values()) < 4.0
+
+    # All speedups positive and bounded by core count.
+    for n_cores, speedup in over.items():
+        assert 0 < speedup <= n_cores + 0.5

@@ -1,0 +1,43 @@
+"""Figure 8 — negative, positive and net LLC interference (16 cores).
+
+Paper: for all seven benchmarks with a non-negligible positive
+component (cholesky, lu.cont, canneal small/large, bfs, lu.ncont,
+needle), negative interference exceeds positive interference, so the
+net component hurts performance at the default 2MB LLC.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.core.rendering import render_interference
+from repro.experiments.scenarios import interference_breakdown
+from repro.workloads.suite import FIG8_BENCHMARKS
+
+
+def test_fig8_interference_breakdown(benchmark, cache):
+    rows = benchmark.pedantic(
+        interference_breakdown, args=(cache,), rounds=1, iterations=1
+    )
+    print_artifact(
+        "Figure 8: negative / positive / net LLC interference",
+        render_interference(rows),
+    )
+
+    assert [row.name for row in rows] == list(FIG8_BENCHMARKS)
+
+    # Every benchmark in the figure has a visible positive component.
+    for row in rows:
+        assert row.positive > 0.1, f"{row.name}: positive {row.positive:.2f}"
+
+    # Paper: negative exceeds positive for all of them at 2MB -> the
+    # net component is positive (harmful) or at worst ~neutral.
+    harmful = sum(1 for row in rows if row.net > -0.05)
+    assert harmful >= 6, [
+        (row.name, round(row.net, 2)) for row in rows
+    ]
+
+    # Magnitudes are in the paper's ballpark (fractions of a speedup
+    # unit up to ~2 units, not tens).
+    for row in rows:
+        assert 0 < row.negative < 4.0
+        assert row.positive < 2.5

@@ -1,0 +1,45 @@
+"""Figure 9 — cholesky's LLC interference vs LLC size (2/4/8/16 MB).
+
+Paper: as the LLC grows, negative interference decreases (fewer
+capacity misses) while positive interference remains approximately
+constant (a program property), so the net component shrinks and even
+turns negative — cache sharing becomes a net performance win.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.core.analysis import expect_monotone_negative
+from repro.core.rendering import render_interference
+from repro.experiments.scenarios import llc_size_sweep
+
+
+def test_fig9_llc_size_sweep(benchmark, cache):
+    points = benchmark.pedantic(
+        llc_size_sweep, args=(cache,), rounds=1, iterations=1
+    )
+    print_artifact(
+        "Figure 9: cholesky LLC interference vs LLC size",
+        render_interference([p.interference for p in points]),
+    )
+
+    assert [p.llc_mb for p in points] == [2.0, 4.0, 8.0, 16.0]
+    first = points[0].interference
+    last = points[-1].interference
+
+    # Negative interference decreases with LLC size (monotone trend).
+    assert expect_monotone_negative(points)
+    assert last.negative < 0.5 * max(first.negative, 0.2)
+
+    # Positive interference roughly constant: within a factor ~2.5 of
+    # the 2MB value at every size, never collapsing to zero.
+    for p in points:
+        pos = p.interference.positive
+        assert pos > 0.25 * first.positive
+        assert pos < 2.5 * max(first.positive, 0.1)
+
+    # The net component shrinks with LLC size and ends lower than it
+    # started; at 16MB cache sharing is a net win (net <= 0) or at
+    # least nearly so.
+    assert last.net < first.net
+    assert last.net < 0.15

@@ -1,0 +1,38 @@
+"""Section 4.7 — hardware cost of the accounting architecture.
+
+Paper: 952 bytes per core for interference accounting, 217 bytes per
+core for the Tian et al. spin table, i.e. ~1.1KB per core and ~18KB in
+total for a 16-core CMP.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.accounting.hardware_cost import (
+    PAPER_INTERFERENCE_BYTES_PER_CORE,
+    PAPER_SPIN_TABLE_BYTES_PER_CORE,
+    estimate_cost,
+)
+from repro.config import MachineConfig
+
+
+def test_hw_cost(benchmark):
+    cost = benchmark.pedantic(
+        estimate_cost, args=(MachineConfig(n_cores=16),),
+        rounds=3, iterations=10,
+    )
+    body = "\n".join([
+        f"ATD (sampled sets)      {cost.atd_bytes:>6d} B/core",
+        f"ORA (8 banks)           {cost.ora_bytes:>6d} B/core",
+        f"event counters          {cost.counter_bytes:>6d} B/core",
+        f"interference subtotal   {cost.interference_bytes_per_core:>6d} B/core   (paper: 952)",
+        f"spin load table         {cost.spin_table_bytes:>6d} B/core   (paper: 217)",
+        f"per core                {cost.per_core_kb:>6.2f} KB       (paper: ~1.1KB)",
+        f"16-core total           {cost.total_kb:>6.2f} KB       (paper: ~18KB)",
+    ])
+    print_artifact("Section 4.7: accounting hardware cost", body)
+
+    assert cost.interference_bytes_per_core == PAPER_INTERFERENCE_BYTES_PER_CORE
+    assert cost.spin_table_bytes == PAPER_SPIN_TABLE_BYTES_PER_CORE
+    assert 1.0 <= cost.per_core_kb <= 1.25
+    assert 17.0 <= cost.total_kb <= 19.0

@@ -1,0 +1,50 @@
+"""The multi-program accounting baseline (Eyerman et al. [7]).
+
+The paper builds on a per-thread cycle accounting architecture designed
+for multi-program workloads — independent single-threaded programs
+co-running on a CMP, where only negative interference exists.  This
+bench reproduces that baseline's headline capability: estimating each
+program's *isolated* execution time from the co-run alone (the
+quality-of-service use case of Section 8), validated against actual
+isolated runs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.config import MachineConfig
+from repro.experiments.multiprogram import (
+    render_multiprogram,
+    run_multiprogram,
+)
+from repro.workloads.suite import by_name
+
+MIX = ("facesim_small", "canneal_small", "radix", "blackscholes_small")
+
+
+def test_multiprogram_baseline(benchmark, cache):
+    specs = [by_name(name) for name in MIX]
+
+    def run():
+        return run_multiprogram(
+            specs, MachineConfig(n_cores=4), scale=cache.scale
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_artifact(
+        "Baseline [7]: multi-program isolated-time estimation",
+        render_multiprogram(result),
+    )
+
+    by_name_map = {p.name: p for p in result.programs}
+
+    # Co-running hurts the memory-hungry programs, not the cache-
+    # resident compute-bound one.
+    assert by_name_map["canneal_small"].slowdown > 1.15
+    assert by_name_map["blackscholes_small"].slowdown < 1.08
+
+    # The accounting recovers isolated times within a few percent —
+    # the accuracy class the [7] baseline reports.
+    assert result.mean_abs_error < 0.08
+    for program in result.programs:
+        assert abs(program.error) < 0.12, program

@@ -1,0 +1,43 @@
+"""Extension: per-thread validation of Equation 2's estimates.
+
+The paper validates the *aggregate* estimated speedup (Figure 4); the
+accounting actually estimates every thread's isolated time T̂_i first.
+This bench validates those directly against per-thread isolated runs —
+a stronger check that also quantifies how much per-thread error cancels
+in the aggregate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_artifact
+from repro.experiments.perthread import render_per_thread, validate_per_thread
+from repro.workloads.suite import by_name
+
+BENCHMARKS = ("dedup_small", "facesim_small", "heartwall")
+
+
+def test_perthread_validation(benchmark, cache):
+    def run():
+        return {
+            name: validate_per_thread(by_name(name), 16, scale=cache.scale)
+            for name in BENCHMARKS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    body = "\n\n".join(
+        f"--- {name} ---\n" + render_per_thread(v)
+        for name, v in results.items()
+    )
+    print_artifact("Extension: per-thread T̂_i validation (16 threads)", body)
+
+    for name, validation in results.items():
+        # Per-thread estimates land in the right range.
+        assert validation.mean_abs_error < 0.20, name
+        # The aggregate benefits from cancellation: it is never worse
+        # than the mean per-thread error.
+        assert abs(validation.aggregate_error) <= (
+            validation.mean_abs_error + 1e-9
+        ), name
+        for thread in validation.threads:
+            assert thread.estimated_cycles > 0
+            assert thread.isolated_cycles > 0

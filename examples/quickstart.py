@@ -1,0 +1,56 @@
+"""Quickstart: compute one speedup stack.
+
+Runs the ``facesim_medium`` benchmark single-threaded (the reference)
+and 16-threaded with the cycle-accounting hardware attached, then
+prints the speedup stack — the paper's Figure 2, for real data.
+
+    python examples/quickstart.py [benchmark] [n_threads]
+"""
+
+import sys
+
+from repro import (
+    MachineConfig,
+    build_program,
+    by_name,
+    render_stack,
+    run_experiment,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "facesim_medium"
+    n_threads = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    spec = by_name(benchmark)
+    machine = MachineConfig(n_cores=n_threads)
+
+    print(f"running {spec.full_name} with {n_threads} threads "
+          f"on a {n_threads}-core CMP ...")
+    result = run_experiment(
+        spec.full_name,
+        machine,
+        build_program(spec, n_threads),
+        build_program(spec, 1),
+    )
+
+    print()
+    print(render_stack(result.stack))
+    print()
+    ranked = result.stack.ranked_delimiters(significance=0.2)
+    if ranked:
+        top, value = ranked[0]
+        print(f"largest scaling bottleneck: {top.label} "
+              f"({value:.2f} speedup units — removing it entirely would "
+              f"raise speedup by about that much)")
+    else:
+        print("no significant scaling bottleneck: the benchmark scales "
+              "almost perfectly.")
+    overhead = result.parallelization_overhead
+    if overhead is not None:
+        print(f"parallelization overhead (extra instructions vs 1-thread "
+              f"run): {overhead * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,252 @@
+"""repro — speedup stacks for multi-threaded applications.
+
+A from-scratch reproduction of *"Speedup Stacks: Identifying Scaling
+Bottlenecks in Multi-Threaded Applications"* (Eyerman, Du Bois,
+Eeckhout — ISPASS 2012): a simulated chip-multiprocessor, the paper's
+per-thread cycle-accounting hardware (ATDs, ORAs, spin detectors), the
+speedup-stack analysis itself, a 28-benchmark synthetic workload suite
+mirroring Figure 6, and drivers for every figure in the evaluation.
+
+Quickstart::
+
+    from repro import (
+        MachineConfig, build_program, by_name, run_experiment, render_stack,
+    )
+
+    spec = by_name("facesim_medium")
+    machine = MachineConfig(n_cores=16)
+    result = run_experiment(
+        spec.full_name, machine,
+        build_program(spec, 16), build_program(spec, 1),
+    )
+    print(render_stack(result.stack))
+"""
+
+from repro.accounting.accountant import CycleAccountant
+from repro.accounting.hardware_cost import (
+    HardwareCost,
+    HardwareCostParams,
+    estimate_cost,
+)
+from repro.accounting.report import AccountingReport, ThreadComponents
+from repro.config import (
+    KB,
+    MB,
+    AccountingConfig,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    MachineConfig,
+    SchedConfig,
+    SyncConfig,
+)
+from repro.core.analysis import LlcInterference, llc_interference
+from repro.core.cpi import CpiStack, cpi_stacks, render_cpi_stacks
+from repro.core.classification import (
+    ClassificationTree,
+    ClassifiedBenchmark,
+    classify_stack,
+    scaling_class,
+)
+from repro.core.components import Component, STACK_ORDER
+from repro.core.rendering import (
+    render_interference,
+    render_speedup_curve,
+    render_stack,
+    render_stack_series,
+    render_tree,
+    render_validation_table,
+)
+from repro.core.regions import (
+    Region,
+    RegionObserver,
+    RegionResult,
+    region_stacks,
+    run_region_experiment,
+)
+from repro.core.stack import SpeedupStack, build_stack
+from repro.core.whatif import (
+    Opportunity,
+    Projection,
+    advice,
+    optimization_opportunities,
+    project,
+    remove_component,
+)
+from repro.core.validation import (
+    ValidationRow,
+    errors_by_thread_count,
+    mean_absolute_error,
+    validation_row,
+)
+from repro.errors import ConfigError, DeadlockError, ReproError, SimulationError
+from repro.experiments.multiprogram import (
+    MultiProgramResult,
+    ProgramSlowdown,
+    render_multiprogram,
+    run_multiprogram,
+)
+from repro.experiments.perthread import (
+    PerThreadValidation,
+    ThreadValidation,
+    render_per_thread,
+    validate_per_thread,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_accounted,
+    run_experiment,
+    run_reference,
+)
+from repro.experiments.scenarios import (
+    ExperimentCache,
+    classification_tree,
+    ferret_core_sweep,
+    interference_breakdown,
+    llc_size_sweep,
+    speedup_curves,
+    stack_series,
+    validation_sweep,
+)
+from repro.sim.engine import SimResult, Simulation, simulate
+from repro.sim.partition import WayPartitionedCache, equal_quotas
+from repro.sim.trace import RunInterval, TraceRecorder
+from repro.sync.profile import (
+    BarrierProfile,
+    LockProfile,
+    barrier_profiles,
+    lock_profiles,
+    render_sync_profile,
+)
+from repro.workloads.pipeline import build_pipeline_program
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    FutexWait,
+    FutexWake,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Program,
+    Store,
+    YieldCpu,
+)
+from repro.workloads.tracefile import (
+    dump_program,
+    dump_trace,
+    load_trace,
+    parse_trace,
+)
+from repro.workloads.spec import BenchmarkSpec, build_program
+from repro.workloads.suite import FIG5_BENCHMARKS, FIG8_BENCHMARKS, SUITE, by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccountingConfig",
+    "AccountingReport",
+    "BarrierProfile",
+    "BarrierWait",
+    "BenchmarkSpec",
+    "CacheConfig",
+    "ClassificationTree",
+    "ClassifiedBenchmark",
+    "Component",
+    "Compute",
+    "ConfigError",
+    "CoreConfig",
+    "CpiStack",
+    "CycleAccountant",
+    "DeadlockError",
+    "DramConfig",
+    "ExperimentCache",
+    "ExperimentResult",
+    "FIG5_BENCHMARKS",
+    "FIG8_BENCHMARKS",
+    "FutexWait",
+    "FutexWake",
+    "HardwareCost",
+    "HardwareCostParams",
+    "KB",
+    "LlcInterference",
+    "Load",
+    "LockProfile",
+    "LockAcquire",
+    "LockRelease",
+    "MB",
+    "MachineConfig",
+    "MultiProgramResult",
+    "Opportunity",
+    "PerThreadValidation",
+    "Program",
+    "ProgramSlowdown",
+    "Projection",
+    "Region",
+    "RegionObserver",
+    "RegionResult",
+    "ReproError",
+    "RunInterval",
+    "SchedConfig",
+    "SimResult",
+    "Simulation",
+    "SimulationError",
+    "SpeedupStack",
+    "STACK_ORDER",
+    "Store",
+    "SUITE",
+    "SyncConfig",
+    "ThreadComponents",
+    "ThreadValidation",
+    "TraceRecorder",
+    "ValidationRow",
+    "WayPartitionedCache",
+    "YieldCpu",
+    "advice",
+    "barrier_profiles",
+    "build_pipeline_program",
+    "build_program",
+    "build_stack",
+    "by_name",
+    "classification_tree",
+    "classify_stack",
+    "cpi_stacks",
+    "dump_program",
+    "dump_trace",
+    "equal_quotas",
+    "errors_by_thread_count",
+    "estimate_cost",
+    "ferret_core_sweep",
+    "interference_breakdown",
+    "llc_interference",
+    "llc_size_sweep",
+    "load_trace",
+    "lock_profiles",
+    "mean_absolute_error",
+    "optimization_opportunities",
+    "parse_trace",
+    "project",
+    "region_stacks",
+    "remove_component",
+    "render_cpi_stacks",
+    "render_multiprogram",
+    "render_per_thread",
+    "render_sync_profile",
+    "render_interference",
+    "render_speedup_curve",
+    "render_stack",
+    "render_stack_series",
+    "render_tree",
+    "render_validation_table",
+    "run_accounted",
+    "run_experiment",
+    "run_reference",
+    "run_multiprogram",
+    "run_region_experiment",
+    "scaling_class",
+    "simulate",
+    "speedup_curves",
+    "validate_per_thread",
+    "stack_series",
+    "validation_row",
+    "validation_sweep",
+]

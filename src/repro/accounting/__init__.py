@@ -1,0 +1,5 @@
+"""The paper's per-thread cycle-accounting architecture (Section 4):
+auxiliary tag directories, open row arrays, spin detectors, and the
+per-core accountant that turns raw hardware events into cycle
+components.
+"""

@@ -1,0 +1,110 @@
+"""Hardware cost model for the accounting architecture (Section 4.7).
+
+The paper reports: 952 bytes per core for the negative/positive
+interference accounting (the ATD with a few sampled sets, the ORA, and
+raw event counters, per [7]), plus 217 bytes per core for the Tian
+et al. spin-detection load table (8 entries of PC, address, loaded
+data, a mark bit and a timestamp), i.e. ~1.1KB per core and ~18KB in
+total for a 16-core CMP.
+
+This module computes the same budget from first principles so the cost
+of configuration variants (bigger LLC, different sampling, larger spin
+table) can be evaluated.  The defaults reproduce the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class HardwareCostParams:
+    """Bit-level sizing assumptions behind the Section 4.7 numbers."""
+
+    #: sampled LLC sets monitored per ATD (hardware sampling is sparser
+    #: than the simulation-side default; [7] monitors a few sets only)
+    atd_sampled_sets: int = 32
+    #: partial tag bits stored per ATD way (plus one valid bit)
+    atd_tag_bits: int = 12
+    atd_status_bits: int = 1
+    #: open row array: row id bits per bank
+    ora_row_bits: int = 32
+    #: raw event counters (cycle and event counts) per core
+    n_counters: int = 22
+    counter_bits: int = 32
+    #: Tian et al. load table entry: 64b PC + 64b address + 64b data +
+    #: 1b mark + 24b timestamp = 217 bits ("217 bytes per core" for the
+    #: 8-entry table in the paper's arithmetic)
+    spin_pc_bits: int = 64
+    spin_addr_bits: int = 64
+    spin_data_bits: int = 64
+    spin_mark_bits: int = 1
+    spin_timestamp_bits: int = 24
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Byte budget of the accounting hardware."""
+
+    atd_bytes: int
+    ora_bytes: int
+    counter_bytes: int
+    spin_table_bytes: int
+    n_cores: int
+
+    @property
+    def interference_bytes_per_core(self) -> int:
+        """ATD + ORA + counters (the paper's 952-byte figure)."""
+        return self.atd_bytes + self.ora_bytes + self.counter_bytes
+
+    @property
+    def per_core_bytes(self) -> int:
+        return self.interference_bytes_per_core + self.spin_table_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.per_core_bytes * self.n_cores
+
+    @property
+    def per_core_kb(self) -> float:
+        return self.per_core_bytes / 1024.0
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bytes / 1024.0
+
+
+def estimate_cost(
+    machine: MachineConfig, params: HardwareCostParams | None = None
+) -> HardwareCost:
+    """Compute the accounting hardware budget for a machine config."""
+    params = params or HardwareCostParams()
+    assoc = machine.llc.assoc
+    atd_entry_bits = params.atd_tag_bits + params.atd_status_bits
+    atd_bits = params.atd_sampled_sets * assoc * atd_entry_bits
+    ora_bits = machine.dram.n_banks * params.ora_row_bits
+    counter_bits = params.n_counters * params.counter_bits
+    spin_entry_bits = (
+        params.spin_pc_bits
+        + params.spin_addr_bits
+        + params.spin_data_bits
+        + params.spin_mark_bits
+        + params.spin_timestamp_bits
+    )
+    spin_bits = machine.accounting.spin_table_entries * spin_entry_bits
+    return HardwareCost(
+        atd_bytes=ceil(atd_bits / 8),
+        ora_bytes=ceil(ora_bits / 8),
+        counter_bytes=ceil(counter_bits / 8),
+        spin_table_bytes=ceil(spin_bits / 8),
+        n_cores=machine.n_cores,
+    )
+
+
+#: The numbers the paper states verbatim, for cross-checking.
+PAPER_INTERFERENCE_BYTES_PER_CORE = 952
+PAPER_SPIN_TABLE_BYTES_PER_CORE = 217
+PAPER_TOTAL_KB_16_CORES = 18.0

@@ -1,0 +1,99 @@
+"""Hook interface between the simulated chip and the accounting hardware.
+
+The simulator is oblivious to *how* cycle components are measured: it
+reports raw, hardware-observable events through this interface, exactly
+the events the paper's proposed hardware sees.  A
+:class:`NullAccountant` is used for runs that do not need accounting
+(e.g. the single-threaded reference run), keeping the hot path free of
+``if accountant is not None`` checks.
+"""
+
+from __future__ import annotations
+
+# Classifications returned by the ATD probe.
+INTER_THREAD_MISS = "inter_thread_miss"
+INTER_THREAD_HIT = "inter_thread_hit"
+
+
+class NullAccountant:
+    """No-op implementation of every accounting hook."""
+
+    enabled = False
+
+    def classify_llc_access(
+        self,
+        core_id: int,
+        line_addr: int,
+        set_index: int,
+        shared_hit: bool,
+        is_load: bool,
+    ) -> str | None:
+        """ATD probe on every LLC access; returns a classification for
+        sampled sets ("a hit in the shared LLC that results in a miss in
+        the private ATD is classified as an inter-thread hit", and the
+        converse an inter-thread miss) or ``None``."""
+        return None
+
+    def warm_llc_access(self, core_id: int, line_addr: int, set_index: int) -> None:
+        """Untimed cache-warmup access (pre-fills the ATD tag state so the
+        measured region starts from a steady state, like the paper's
+        measurement of the parallel fraction after initialization)."""
+
+    def note_dram_access(self, core_id: int, dram_result) -> bool:
+        """Update the core's open row array with one DRAM access; returns
+        whether the ORA attributes this access's page conflict to another
+        core (Section 4.1)."""
+        return False
+
+    def on_miss_blocked(
+        self,
+        core_id: int,
+        blocked_cycles: int,
+        classification: str | None,
+        dram_result,
+        is_load: bool,
+        ora_conflict: bool = False,
+    ) -> None:
+        """An LLC miss blocked the ROB head for ``blocked_cycles``.
+
+        Called once per demand miss that actually stalled the core; this
+        is the paper's gating rule ("we only account interference cycles
+        in case a miss blocks the ROB head and causes the ROB to fill
+        up").  ``dram_result`` is the :class:`DramAccessResult` with the
+        bus/bank/page attribution used for memory interference and the
+        ORA update."""
+
+    def on_retired_load(
+        self,
+        core_id: int,
+        pc: int,
+        addr: int,
+        value_version: int,
+        writer_core: int,
+        now: int,
+    ) -> None:
+        """Every retired load, feeding the Tian et al. spin detector."""
+
+    def on_backward_branch(
+        self, core_id: int, pc: int, state_signature: int, now: int
+    ) -> None:
+        """Spin-loop backward branch, feeding the Li et al. detector."""
+
+    def on_coherency_miss(self, core_id: int, blocked_cycles: int) -> None:
+        """Tag-hit-but-invalid L1 miss (Section 4.5, optional)."""
+
+    def on_spin_truncated(self, core_id: int, elapsed_cycles: int) -> None:
+        """The synchronization library abandoned a spin loop to yield
+        after ``elapsed_cycles`` of spinning (OS-side hook; hardware
+        detectors only observe episodes terminated by a value change)."""
+
+    def on_context_switch(self, core_id: int) -> None:
+        """A different thread was switched onto the core: flush the
+        per-core spin-detection state (it is physical, per-core HW)."""
+
+    def on_yield_interval(self, thread_id: int, t_out: int, t_in: int) -> None:
+        """Thread was scheduled out from ``t_out`` to ``t_in`` while
+        waiting on a lock or barrier (Section 4.4)."""
+
+
+NULL_ACCOUNTANT = NullAccountant()

@@ -1,0 +1,42 @@
+"""Open row arrays (ORAs) for DRAM page-conflict attribution.
+
+One ORA per core remembers, per bank, the page that *this core* opened
+most recently (Section 4.1).  When a memory access of the core
+encounters a closed page (the bank's open page is not the requested
+one) and the ORA shows this core opened the requested page most
+recently, another core must have closed it in between — negative
+interference.  The accounted cost is the extra work of "writing the
+current page back and reopening the original page" (precharge +
+activate), i.e. the access's cost over a page hit.
+"""
+
+from __future__ import annotations
+
+from repro.sim.memory import PAGE_HIT, DramAccessResult
+
+
+class OpenRowArray:
+    """Per-core most-recently-opened page, per bank."""
+
+    def __init__(self, n_banks: int) -> None:
+        self._rows: list[int | None] = [None] * n_banks
+        self.n_conflicts_from_others = 0
+
+    def observe(self, access: DramAccessResult) -> bool:
+        """Update the ORA with one access by this core; return ``True``
+        when the access suffered a page conflict caused by another core.
+        """
+        bank = access.bank_index
+        own_last_page = self._rows[bank]
+        self._rows[bank] = access.page_id
+        if access.page_outcome == PAGE_HIT:
+            return False
+        if own_last_page != access.page_id:
+            # This core did not have the requested page open from its own
+            # point of view, so the conflict is self-inflicted.
+            return False
+        self.n_conflicts_from_others += 1
+        return True
+
+    def row_for_bank(self, bank: int) -> int | None:
+        return self._rows[bank]

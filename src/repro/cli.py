@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``      — the benchmark suite with its Figure 6 metadata
+* ``stack``     — speedup stack (+ optimization advice) for one benchmark
+* ``curve``     — speedup vs. thread count
+* ``tree``      — the Figure 6 classification tree
+* ``regions``   — per-barrier-region stacks (Section 4.6 refinement)
+* ``timeline``  — scheduling timeline (optionally Chrome trace JSON)
+* ``cpi``       — per-core CPI stacks of a run
+* ``sync``      — per-lock contention profile
+* ``cost``      — accounting hardware cost (Section 4.7)
+* ``run-trace`` — simulate a text op-trace file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.accounting.hardware_cost import estimate_cost
+from repro.config import MB, MachineConfig
+from repro.core.cpi import cpi_stacks, render_cpi_stacks
+from repro.core.regions import run_region_experiment
+from repro.core.rendering import (
+    render_speedup_curve,
+    render_stack,
+    render_stack_series,
+    render_tree,
+)
+from repro.core.whatif import advice
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import (
+    ExperimentCache,
+    classification_tree,
+    speedup_curves,
+)
+from repro.sim.engine import Simulation
+from repro.sim.trace import TraceRecorder
+from repro.sync.profile import render_sync_profile
+from repro.workloads.spec import build_program
+from repro.workloads.suite import SUITE, by_name
+from repro.workloads.tracefile import load_trace
+
+
+def _machine(args) -> MachineConfig:
+    machine = MachineConfig(n_cores=args.threads)
+    if getattr(args, "llc_mb", None):
+        machine = machine.with_llc_size(int(args.llc_mb * MB))
+    return machine
+
+
+def cmd_list(args) -> int:
+    print(f"{'benchmark':<24s}{'suite':<10s}{'paper S16':>10s}  "
+          f"{'class':<10s} expected bottlenecks")
+    for spec in SUITE:
+        print(
+            f"{spec.full_name:<24s}{spec.suite:<10s}"
+            f"{spec.target_speedup_16:>10.2f}  {spec.expected_class:<10s}"
+            f"{', '.join(spec.expected_top) or '-'}"
+        )
+    return 0
+
+
+def cmd_stack(args) -> int:
+    spec = by_name(args.benchmark)
+    machine = _machine(args)
+    result = run_experiment(
+        spec.full_name, machine,
+        build_program(spec, args.threads, scale=args.scale),
+        build_program(spec, 1, scale=args.scale),
+    )
+    print(render_stack(result.stack))
+    print()
+    print(advice(result.stack))
+    return 0
+
+
+def cmd_curve(args) -> int:
+    cache = ExperimentCache(scale=args.scale)
+    curves = speedup_curves(cache, benchmarks=(args.benchmark,))
+    print(render_speedup_curve(curves))
+    return 0
+
+
+def cmd_tree(args) -> int:
+    cache = ExperimentCache(scale=args.scale)
+    tree = classification_tree(cache)
+    print(render_tree(tree))
+    counts = tree.dominant_component_counts()
+    print()
+    print("dominant delimiters:",
+          ", ".join(f"{k}: {v}" for k, v in sorted(counts.items())))
+    return 0
+
+
+def cmd_regions(args) -> int:
+    spec = by_name(args.benchmark)
+    machine = _machine(args)
+    result = run_region_experiment(
+        machine, build_program(spec, args.threads, scale=args.scale),
+        name=spec.full_name,
+    )
+    if not result.stacks:
+        print("no barriers -> no regions; try a phased benchmark "
+              "(lud, bfs, needle, fft, ...)")
+        return 1
+    print(render_stack_series(
+        result.stacks, title=f"region stacks: {spec.full_name}"
+    ))
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    spec = by_name(args.benchmark)
+    machine = _machine(args)
+    trace = TraceRecorder()
+    Simulation(
+        machine, build_program(spec, args.threads, scale=args.scale),
+        trace=trace,
+    ).run()
+    print(trace.render_timeline(machine.n_cores, width=args.width))
+    utilization = trace.core_utilization(machine.n_cores)
+    print("core utilization:",
+          " ".join(f"{u:.0%}" for u in utilization))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(trace.to_chrome_trace())
+        print(f"chrome trace written to {args.out}")
+    return 0
+
+
+def cmd_cpi(args) -> int:
+    spec = by_name(args.benchmark)
+    machine = _machine(args)
+    result = Simulation(
+        machine, build_program(spec, args.threads, scale=args.scale)
+    ).run()
+    print(render_cpi_stacks(cpi_stacks(result)))
+    return 0
+
+
+def cmd_sync(args) -> int:
+    spec = by_name(args.benchmark)
+    machine = _machine(args)
+    result = Simulation(
+        machine, build_program(spec, args.threads, scale=args.scale)
+    ).run()
+    print(render_sync_profile(result))
+    return 0
+
+
+def cmd_cost(args) -> int:
+    cost = estimate_cost(MachineConfig(n_cores=args.threads))
+    print(f"interference accounting: {cost.interference_bytes_per_core} B/core")
+    print(f"spin load table:         {cost.spin_table_bytes} B/core")
+    print(f"per core:                {cost.per_core_kb:.2f} KB")
+    print(f"{args.threads}-core total: {cost.total_kb:14.2f} KB")
+    return 0
+
+
+def cmd_run_trace(args) -> int:
+    program = load_trace(args.path)
+    machine = MachineConfig(n_cores=args.threads or program.n_threads)
+    trace = TraceRecorder() if args.timeline else None
+    result = Simulation(machine, program, trace=trace).run()
+    print(f"{program.n_threads} threads on {machine.n_cores} cores: "
+          f"{result.total_cycles} cycles, {result.total_instrs} instructions")
+    if trace is not None:
+        print(trace.render_timeline(machine.n_cores))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Speedup stacks (ISPASS 2012) — simulator & analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, benchmark=True):
+        if benchmark:
+            p.add_argument("benchmark", help="suite benchmark, e.g. cholesky")
+        p.add_argument("-n", "--threads", type=int, default=16,
+                       help="threads == cores (default 16)")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor")
+        p.add_argument("--llc-mb", type=float, default=None,
+                       help="LLC size in MB (default 2)")
+
+    sub.add_parser("list", help="list the benchmark suite"
+                   ).set_defaults(func=cmd_list)
+
+    p = sub.add_parser("stack", help="speedup stack for one benchmark")
+    common(p)
+    p.set_defaults(func=cmd_stack)
+
+    p = sub.add_parser("curve", help="speedup vs thread count")
+    p.add_argument("benchmark")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_curve)
+
+    p = sub.add_parser("tree", help="Figure 6 classification tree")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_tree)
+
+    p = sub.add_parser("regions", help="per-region stacks (Section 4.6)")
+    common(p)
+    p.set_defaults(func=cmd_regions)
+
+    p = sub.add_parser("timeline", help="scheduling timeline")
+    common(p)
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--out", help="write Chrome trace JSON here")
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser("cpi", help="per-core CPI stacks")
+    common(p)
+    p.set_defaults(func=cmd_cpi)
+
+    p = sub.add_parser("sync", help="per-lock contention profile")
+    common(p)
+    p.set_defaults(func=cmd_sync)
+
+    p = sub.add_parser("cost", help="accounting hardware cost")
+    p.add_argument("-n", "--threads", type=int, default=16)
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser("run-trace", help="simulate a text op trace")
+    p.add_argument("path")
+    p.add_argument("-n", "--threads", type=int, default=None,
+                   help="cores (default: one per trace thread)")
+    p.add_argument("--timeline", action="store_true")
+    p.set_defaults(func=cmd_run_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

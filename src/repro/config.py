@@ -1,0 +1,230 @@
+"""Machine and accounting configuration for the CMP simulator.
+
+The defaults mirror the methodology section of the paper (Section 5): a
+chip-multiprocessor of four-wide superscalar out-of-order cores with private
+L1 caches (32KB I / 64KB D), a shared 2MB last-level L2 cache, a shared
+memory bus and a memory subsystem with 8 banks.
+
+All sizes are in bytes and all times in core cycles.  Configurations are
+plain frozen dataclasses so experiment sweeps can use
+:func:`dataclasses.replace` to derive variants (e.g. the Figure 9 LLC-size
+sweep) without mutating shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    ``hit_latency`` is the load-to-use latency of a hit in this level;
+    ``hidden_latency`` is the number of those cycles an out-of-order core
+    is assumed to hide (Section 4.5 argues a balanced out-of-order core
+    hides L1 misses, i.e. LLC hits, very well).
+    """
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 2
+    hidden_latency: int = 2
+    #: victim selection: "lru" (true LRU), "fifo" (insertion order,
+    #: hits do not promote), or "random" (seeded, deterministic)
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.replacement not in ("lru", "fifo", "random"):
+            raise ValueError(f"unknown replacement policy: {self.replacement!r}")
+        if self.size_bytes % (self.assoc * self.line_bytes) != 0:
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"assoc*line ({self.assoc}*{self.line_bytes})"
+            )
+        if not _is_power_of_two(self.line_bytes):
+            raise ValueError(f"line size must be a power of two: {self.line_bytes}")
+        if not _is_power_of_two(self.n_sets):
+            raise ValueError(f"number of sets must be a power of two: {self.n_sets}")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Open-page DRAM with a shared bus and independently busy banks.
+
+    Timing parameters follow conventional DDR-style nomenclature expressed
+    in core cycles: ``t_cas`` is the column access on a page (row-buffer)
+    hit, ``t_rcd`` the row activate, and ``t_rp`` the precharge (write-back
+    of the currently open page).  A page conflict therefore costs
+    ``t_rp + t_rcd + t_cas`` while a page hit costs only ``t_cas``.
+    """
+
+    n_banks: int = 8
+    page_bytes: int = 4 * KB
+    bus_cycles: int = 16
+    t_cas: int = 40
+    t_rcd: int = 60
+    t_rp: int = 60
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.n_banks):
+            raise ValueError(f"bank count must be a power of two: {self.n_banks}")
+        if not _is_power_of_two(self.page_bytes):
+            raise ValueError(f"page size must be a power of two: {self.page_bytes}")
+
+    @property
+    def page_hit_cycles(self) -> int:
+        return self.t_cas
+
+    @property
+    def page_conflict_cycles(self) -> int:
+        return self.t_rp + self.t_rcd + self.t_cas
+
+    @property
+    def page_empty_cycles(self) -> int:
+        """Cost when the bank has no page open at all (activate + access)."""
+        return self.t_rcd + self.t_cas
+
+    @property
+    def conflict_extra_cycles(self) -> int:
+        """Extra cycles of a page conflict over a page hit."""
+        return self.page_conflict_cycles - self.page_hit_cycles
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Interval-model parameters of one out-of-order core."""
+
+    dispatch_width: int = 4
+    rob_size: int = 128
+    coherence_write_latency: int = 8
+
+    @property
+    def rob_drain_cycles(self) -> int:
+        """Cycles of useful dispatch available while a miss drains the ROB."""
+        return self.rob_size // self.dispatch_width
+
+
+@dataclass(frozen=True)
+class SyncConfig:
+    """Spin-then-yield synchronization library behaviour.
+
+    A contended acquire spins for ``spin_threshold`` loop iterations and
+    then asks the OS to deschedule the thread (Section 4.4); each spin
+    iteration executes a real load of the synchronization variable plus
+    ``spin_iter_instrs`` loop-overhead instructions so the spin-detection
+    hardware observes a genuine instruction stream.
+    """
+
+    spin_threshold: int = 48
+    spin_iter_instrs: int = 4
+
+
+@dataclass(frozen=True)
+class SchedConfig:
+    """Operating-system scheduler model."""
+
+    timeslice_cycles: int = 100_000
+    context_switch_cycles: int = 400
+    wakeup_latency_cycles: int = 600
+    #: Extra per-scheduling-event overhead added per core in the machine,
+    #: modelling the Linux scheduler being less efficient at high core
+    #: counts (observed for ferret in Figure 7 of the paper).
+    overhead_per_core_cycles: int = 4
+
+
+@dataclass(frozen=True)
+class AccountingConfig:
+    """Parameters of the cycle-accounting hardware (Section 4).
+
+    ``atd_sample_period`` selects one in every N LLC sets for ATD
+    monitoring ("to reduce the hardware cost of the ATDs, only a few sets
+    are monitored in the LLC").  ``spin_table_entries`` sizes the Tian
+    et al. load-watch table ("assuming a spinning loop contains at most 8
+    loads, 8 entries are needed").
+    """
+
+    atd_sample_period: int = 8
+    spin_table_entries: int = 8
+    spin_value_threshold: int = 2
+    spin_detector: str = "tian"
+    account_coherency: bool = False
+    #: also run a full-tag (unsampled) shadow ATD per core, purely for
+    #: verification: the report then carries oracle inter-thread counts
+    #: against which the sampled extrapolation can be judged in-run
+    atd_shadow_oracle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.spin_detector not in ("tian", "li"):
+            raise ValueError(f"unknown spin detector: {self.spin_detector!r}")
+        if self.atd_sample_period < 1:
+            raise ValueError("atd_sample_period must be >= 1")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete description of the simulated CMP plus its accounting HW."""
+
+    n_cores: int = 16
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * KB, assoc=4)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=64 * KB, assoc=4)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=2 * MB, assoc=16, hit_latency=30, hidden_latency=30
+        )
+    )
+    dram: DramConfig = field(default_factory=DramConfig)
+    sync: SyncConfig = field(default_factory=SyncConfig)
+    sched: SchedConfig = field(default_factory=SchedConfig)
+    accounting: AccountingConfig = field(default_factory=AccountingConfig)
+    #: static per-core LLC way quotas (cache partitioning, the paper's
+    #: Section 7.1 remedy for negative LLC interference); None = fully
+    #: shared ways
+    llc_quotas: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.l1d.line_bytes != self.llc.line_bytes:
+            raise ValueError("L1D and LLC line sizes must match (inclusive LLC)")
+        if self.llc_quotas is not None:
+            if len(self.llc_quotas) != self.n_cores:
+                raise ValueError("need one LLC way quota per core")
+            if sum(self.llc_quotas) > self.llc.assoc:
+                raise ValueError("LLC way quotas exceed associativity")
+
+    def with_cores(self, n_cores: int) -> "MachineConfig":
+        """Derive a config with a different core count."""
+        return replace(self, n_cores=n_cores)
+
+    def with_llc_size(self, size_bytes: int) -> "MachineConfig":
+        """Derive a config with a different LLC capacity (Figure 9 sweep)."""
+        return replace(self, llc=replace(self.llc, size_bytes=size_bytes))
+
+    def with_llc_quotas(self, quotas: tuple[int, ...]) -> "MachineConfig":
+        """Derive a config with statically partitioned LLC ways."""
+        return replace(self, llc_quotas=quotas)
+
+
+DEFAULT_MACHINE = MachineConfig()

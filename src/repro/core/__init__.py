@@ -1,0 +1,4 @@
+"""The paper's primary contribution: speedup stacks (Equations 2-6),
+benchmark classification (Figure 6), LLC interference analysis
+(Figures 8-9), and text renderings of every figure.
+"""

@@ -1,0 +1,61 @@
+"""LLC interference analysis (Section 7.3, Figures 8 and 9).
+
+Breaks a speedup stack's cache-sharing effects into the negative,
+positive and net interference components, in speedup units — exactly
+the bars of Figure 8 (across benchmarks) and Figure 9 (cholesky as a
+function of LLC size).  A negative *net* value means sharing the LLC
+helps overall performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stack import SpeedupStack
+
+
+@dataclass(frozen=True)
+class LlcInterference:
+    """Negative / positive / net LLC interference of one run."""
+
+    name: str
+    negative: float
+    positive: float
+
+    @property
+    def net(self) -> float:
+        """Negative minus positive: > 0 hurts, < 0 means cache sharing
+        is a net win (the crossover the paper shows for cholesky with
+        large LLCs in Figure 9)."""
+        return self.negative - self.positive
+
+
+def llc_interference(stack: SpeedupStack, name: str | None = None) -> LlcInterference:
+    """Extract the Figure 8 bars from one speedup stack."""
+    return LlcInterference(
+        name=name if name is not None else stack.name,
+        negative=stack.negative_llc,
+        positive=stack.positive_llc,
+    )
+
+
+@dataclass(frozen=True)
+class LlcSizeSweepPoint:
+    """One LLC size of the Figure 9 sweep."""
+
+    llc_bytes: int
+    interference: LlcInterference
+
+    @property
+    def llc_mb(self) -> float:
+        return self.llc_bytes / (1024 * 1024)
+
+
+def expect_monotone_negative(points: list[LlcSizeSweepPoint]) -> bool:
+    """The paper's Figure 9 claim: negative interference decreases with
+    LLC size (fewer capacity misses) while positive interference stays
+    roughly constant.  Returns whether the negative series is
+    non-increasing across the sweep."""
+    ordered = sorted(points, key=lambda p: p.llc_bytes)
+    negatives = [p.interference.negative for p in ordered]
+    return all(b <= a + 1e-9 for a, b in zip(negatives, negatives[1:]))

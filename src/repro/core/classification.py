@@ -1,0 +1,125 @@
+"""Benchmark classification by scaling behaviour (Section 7.2, Figure 6).
+
+The paper classifies benchmarks in a tree: first by scaling class
+("good scaling behavior means a speedup of at least 10x for 16 threads,
+while poor scaling benchmarks have a speedup of less than 5x", the rest
+moderate), then by the first, second and third largest scaling
+delimiters from the speedup stack; components with no considerable
+value are omitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.components import Component, TREE_LABELS
+from repro.core.stack import SpeedupStack
+
+GOOD_THRESHOLD = 10.0
+POOR_THRESHOLD = 5.0
+
+#: Components below this many speedup units are "negligible" (no label
+#: on the tree edge).
+DEFAULT_SIGNIFICANCE = 0.35
+
+
+def scaling_class(speedup: float) -> str:
+    """good / moderate / poor per the paper's thresholds."""
+    if speedup >= GOOD_THRESHOLD:
+        return "good"
+    if speedup < POOR_THRESHOLD:
+        return "poor"
+    return "moderate"
+
+
+@dataclass(frozen=True)
+class ClassifiedBenchmark:
+    """One leaf of the Figure 6 tree."""
+
+    name: str
+    suite: str
+    speedup: float
+    scaling: str
+    #: up to three ranked delimiter labels ("yielding", "memory", ...)
+    top_components: tuple[str, ...]
+
+    @property
+    def path(self) -> tuple[str, ...]:
+        """Tree path: (class, comp1, comp2, comp3), padded with ''."""
+        padded = (self.top_components + ("", "", ""))[:3]
+        return (self.scaling,) + padded
+
+
+def classify_stack(
+    stack: SpeedupStack,
+    suite: str = "",
+    significance: float = DEFAULT_SIGNIFICANCE,
+    speedup: float | None = None,
+) -> ClassifiedBenchmark:
+    """Classify one benchmark from its 16-thread speedup stack.
+
+    ``speedup`` defaults to the stack's measured speedup (falling back
+    to the estimate when no reference run is attached).  Components are
+    ranked by their stack magnitude; the imbalance component is omitted
+    from the tree as the paper measures between thread divergence and
+    convergence where it is ~0.
+    """
+    if speedup is None:
+        speedup = (
+            stack.actual_speedup
+            if stack.actual_speedup is not None
+            else stack.estimated_speedup
+        )
+    labels = []
+    for comp, value in stack.ranked_delimiters(significance):
+        label = TREE_LABELS.get(comp)
+        if label is None or comp is Component.IMBALANCE:
+            continue
+        labels.append(label)
+        if len(labels) == 3:
+            break
+    return ClassifiedBenchmark(
+        name=stack.name,
+        suite=suite,
+        speedup=speedup,
+        scaling=scaling_class(speedup),
+        top_components=tuple(labels),
+    )
+
+
+@dataclass
+class ClassificationTree:
+    """The Figure 6 tree: benchmarks grouped by classification path."""
+
+    leaves: list[ClassifiedBenchmark] = field(default_factory=list)
+
+    def add(self, leaf: ClassifiedBenchmark) -> None:
+        self.leaves.append(leaf)
+
+    def by_class(self) -> dict[str, list[ClassifiedBenchmark]]:
+        grouped: dict[str, list[ClassifiedBenchmark]] = {}
+        for leaf in self.leaves:
+            grouped.setdefault(leaf.scaling, []).append(leaf)
+        return grouped
+
+    def sorted_leaves(self) -> list[ClassifiedBenchmark]:
+        """Leaves in Figure 6 order: class (good, moderate, poor), then
+        descending speedup within each class path."""
+        order = {"good": 0, "moderate": 1, "poor": 2}
+        return sorted(
+            self.leaves,
+            key=lambda leaf: (order[leaf.scaling], leaf.path, -leaf.speedup),
+        )
+
+    def dominant_component_counts(self) -> dict[str, int]:
+        """How often each component is the largest delimiter — the
+        paper observes yielding is the largest for 23 of 28 benchmarks."""
+        counts: dict[str, int] = {}
+        for leaf in self.leaves:
+            if leaf.top_components:
+                key = leaf.top_components[0]
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def count_with_dominant(self, label: str) -> int:
+        return self.dominant_component_counts().get(label, 0)

@@ -1,0 +1,71 @@
+"""Speedup-stack component definitions.
+
+The stack components follow Figure 2 of the paper: base speedup at the
+bottom, positive LLC interference on top of it (their sum is the
+estimated actual speedup), then the scaling delimiters — net negative
+LLC interference, negative memory interference, cache coherency,
+spinning, yielding, imbalance and parallelization overhead — up to the
+maximum theoretical speedup ``N``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Component(str, Enum):
+    """A segment of the speedup stack."""
+
+    BASE_SPEEDUP = "base_speedup"
+    POSITIVE_LLC = "positive_llc"
+    NET_NEGATIVE_LLC = "net_negative_llc"
+    NEGATIVE_MEMORY = "negative_memory"
+    COHERENCY = "coherency"
+    SPINNING = "spinning"
+    YIELDING = "yielding"
+    IMBALANCE = "imbalance"
+
+    @property
+    def label(self) -> str:
+        return _LABELS[self]
+
+    @property
+    def is_delimiter(self) -> bool:
+        """True for scaling delimiters (everything above actual speedup)."""
+        return self not in (Component.BASE_SPEEDUP, Component.POSITIVE_LLC)
+
+
+_LABELS: dict[Component, str] = {
+    Component.BASE_SPEEDUP: "base speedup",
+    Component.POSITIVE_LLC: "positive LLC interference",
+    Component.NET_NEGATIVE_LLC: "net negative LLC interference",
+    Component.NEGATIVE_MEMORY: "negative memory interference",
+    Component.COHERENCY: "cache coherency",
+    Component.SPINNING: "spinning",
+    Component.YIELDING: "yielding",
+    Component.IMBALANCE: "imbalance",
+}
+
+#: Order segments are stacked bottom-to-top, per Figure 2 / Figure 5.
+STACK_ORDER: tuple[Component, ...] = (
+    Component.BASE_SPEEDUP,
+    Component.POSITIVE_LLC,
+    Component.NET_NEGATIVE_LLC,
+    Component.NEGATIVE_MEMORY,
+    Component.COHERENCY,
+    Component.SPINNING,
+    Component.YIELDING,
+    Component.IMBALANCE,
+)
+
+#: The delimiters considered when ranking scaling bottlenecks (Fig. 6).
+#: The paper labels LLC interference "cache" and memory-subsystem
+#: interference "memory" in the tree graph.
+TREE_LABELS: dict[Component, str] = {
+    Component.NET_NEGATIVE_LLC: "cache",
+    Component.NEGATIVE_MEMORY: "memory",
+    Component.COHERENCY: "coherency",
+    Component.SPINNING: "spinning",
+    Component.YIELDING: "yielding",
+    Component.IMBALANCE: "imbalance",
+}

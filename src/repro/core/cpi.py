@@ -1,0 +1,107 @@
+"""Per-core CPI stacks — the single-threaded counterpart view.
+
+The paper positions its contribution by analogy: "one could argue that
+the speedup stack is in the multi-threaded application domain what the
+CPI stack is for single-threaded applications" (Section 8, citing
+Eyerman et al.'s cycle accounting).  This module provides that
+complementary view from the same simulation: for each core, the cycles
+per retired instruction split into a base component (ideal dispatch),
+memory stall components, other pipeline stalls, and the time the core
+sat idle (no thread to run — the scheduling shadow of synchronization).
+
+CPI stacks and speedup stacks answer different questions about the same
+run: the CPI stack says where a *core's cycles* went; the speedup stack
+says what a *thread's slowdown* relative to single-threaded execution
+consists of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimResult
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """Cycles-per-instruction decomposition of one core."""
+
+    core_id: int
+    instrs: int
+    #: ideal dispatch cycles per instruction (1 / width)
+    base: float
+    #: stall cycles on LLC load misses (DRAM time), per instruction
+    memory: float
+    #: all other stalls (dependent hits, drains, bus waits on stores...)
+    other_stall: float
+    #: cycles the core had no thread to run, per instruction it retired
+    idle: float
+
+    @property
+    def total(self) -> float:
+        """Effective cycles per instruction including idle time."""
+        return self.base + self.memory + self.other_stall + self.idle
+
+    @property
+    def cpi(self) -> float:
+        """Conventional CPI (busy cycles only)."""
+        return self.base + self.memory + self.other_stall
+
+    def components(self) -> dict[str, float]:
+        return {
+            "base": self.base,
+            "memory": self.memory,
+            "other_stall": self.other_stall,
+            "idle": self.idle,
+        }
+
+
+def cpi_stacks(result: SimResult) -> list[CpiStack]:
+    """CPI stacks for every core of a finished run."""
+    machine = result.machine
+    width = machine.core.dispatch_width
+    wall = result.total_cycles
+    stacks = []
+    for stats in result.chip.stats:
+        instrs = stats.instrs
+        if instrs == 0:
+            stacks.append(
+                CpiStack(
+                    core_id=stats_index(result, stats), instrs=0,
+                    base=0.0, memory=0.0, other_stall=0.0, idle=0.0,
+                )
+            )
+            continue
+        memory_stall = stats.llc_load_miss_stall
+        other_stall = max(0, stats.stall_cycles - memory_stall)
+        idle = max(0, wall - stats.busy_cycles)
+        stacks.append(
+            CpiStack(
+                core_id=stats_index(result, stats),
+                instrs=instrs,
+                base=1.0 / width,
+                memory=memory_stall / instrs,
+                other_stall=other_stall / instrs,
+                idle=idle / instrs,
+            )
+        )
+    return stacks
+
+
+def stats_index(result: SimResult, stats) -> int:
+    return result.chip.stats.index(stats)
+
+
+def render_cpi_stacks(stacks: list[CpiStack]) -> str:
+    """Table of per-core CPI components."""
+    lines = [
+        f"{'core':>5s}{'instrs':>10s}{'base':>8s}{'memory':>8s}"
+        f"{'other':>8s}{'idle':>8s}{'CPI':>8s}{'eff.CPI':>9s}"
+    ]
+    for stack in stacks:
+        lines.append(
+            f"{stack.core_id:>5d}{stack.instrs:>10d}{stack.base:>8.2f}"
+            f"{stack.memory:>8.2f}{stack.other_stall:>8.2f}"
+            f"{stack.idle:>8.2f}{stack.cpi:>8.2f}{stack.total:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Text renderings of the paper's figures.
+
+Everything renders to plain ASCII/Unicode strings so the examples and
+the benchmark harness can print the same artifacts the paper plots:
+speedup stacks (Figures 2 and 5), speedup curves (Figures 1 and 7),
+actual-vs-estimated validation (Figure 4), the classification tree
+(Figure 6), and the LLC interference bars (Figures 8 and 9).
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import LlcInterference
+from repro.core.classification import ClassificationTree
+from repro.core.components import Component, STACK_ORDER
+from repro.core.stack import SpeedupStack
+from repro.core.validation import ValidationRow
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar of ``value`` out of ``scale`` over ``width`` chars."""
+    if scale <= 0 or value <= 0:
+        return ""
+    cells = value / scale * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    bar = _FULL * whole
+    if frac > 0:
+        bar += _PART[frac]
+    return bar
+
+
+def render_stack(stack: SpeedupStack, width: int = 40) -> str:
+    """One speedup stack as labelled horizontal segments (Figure 2)."""
+    lines = [f"speedup stack: {stack.name}  (N = {stack.n_threads})"]
+    if stack.actual_speedup is not None:
+        lines.append(
+            f"  actual speedup    {stack.actual_speedup:6.2f}   "
+            f"estimated {stack.estimated_speedup:6.2f}   "
+            f"error {stack.estimation_error * 100:+5.1f}%"
+        )
+    else:
+        lines.append(f"  estimated speedup {stack.estimated_speedup:6.2f}")
+    segments = stack.segments()
+    for comp in STACK_ORDER:
+        value = segments[comp]
+        if comp.is_delimiter and abs(value) < 0.005:
+            continue
+        bar = _bar(max(value, 0.0), stack.n_threads, width)
+        lines.append(f"  {comp.label:<30s} {value:7.2f}  {bar}")
+    lines.append(f"  {'(stack height)':<30s} {stack.n_threads:7.2f}")
+    return "\n".join(lines)
+
+
+def render_stack_series(
+    stacks: list[SpeedupStack], title: str = ""
+) -> str:
+    """Several stacks side by side as a component table (Figure 5)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'component':<30s}" + "".join(
+        f"{s.name[-12:]:>14s}" for s in stacks
+    )
+    lines.append(header)
+    threads_row = f"{'N (threads)':<30s}" + "".join(
+        f"{s.n_threads:>14d}" for s in stacks
+    )
+    lines.append(threads_row)
+    for comp in STACK_ORDER:
+        values = [s.segments()[comp] for s in stacks]
+        if comp.is_delimiter and all(abs(v) < 0.005 for v in values):
+            continue
+        row = f"{comp.label:<30s}" + "".join(f"{v:>14.2f}" for v in values)
+        lines.append(row)
+    actual = [
+        s.actual_speedup if s.actual_speedup is not None else float("nan")
+        for s in stacks
+    ]
+    lines.append(
+        f"{'actual speedup':<30s}" + "".join(f"{v:>14.2f}" for v in actual)
+    )
+    lines.append(
+        f"{'estimated speedup':<30s}"
+        + "".join(f"{s.estimated_speedup:>14.2f}" for s in stacks)
+    )
+    return "\n".join(lines)
+
+
+def render_speedup_curve(
+    series: dict[str, dict[int, float]], width: int = 40
+) -> str:
+    """Speedup versus thread count for several benchmarks (Figure 1)."""
+    lines = []
+    max_speedup = max(
+        (v for curve in series.values() for v in curve.values()), default=1.0
+    )
+    for name, curve in series.items():
+        lines.append(name)
+        for n_threads in sorted(curve):
+            speedup = curve[n_threads]
+            bar = _bar(speedup, max_speedup, width)
+            lines.append(f"  {n_threads:3d} threads  {speedup:6.2f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_validation_table(rows: list[ValidationRow]) -> str:
+    """Actual vs estimated speedup for many runs (Figure 4)."""
+    lines = [
+        f"{'benchmark':<24s}{'N':>4s}{'actual':>9s}{'estimated':>11s}"
+        f"{'error':>9s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<24s}{row.n_threads:>4d}{row.actual_speedup:>9.2f}"
+            f"{row.estimated_speedup:>11.2f}{row.error * 100:>8.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_tree(tree: ClassificationTree) -> str:
+    """The Figure 6 tree graph as text.
+
+    Columns: scaling class, 1st/2nd/3rd largest components, benchmark,
+    suite, speedup — repeated labels are blanked like the figure.
+    """
+    lines = [
+        f"{'scaling':<10s}{'1st comp':<11s}{'2nd comp':<11s}"
+        f"{'3rd comp':<11s}{'benchmark':<24s}{'suite':<10s}{'speedup':>8s}"
+    ]
+    previous: tuple[str, ...] = ("", "", "", "")
+    for leaf in tree.sorted_leaves():
+        path = leaf.path
+        cells = []
+        prefix_same = True
+        for level in range(4):
+            if prefix_same and path[level] == previous[level]:
+                cells.append("")
+            else:
+                prefix_same = False
+                cells.append(path[level])
+        lines.append(
+            f"{cells[0]:<10s}{cells[1]:<11s}{cells[2]:<11s}{cells[3]:<11s}"
+            f"{leaf.name:<24s}{leaf.suite:<10s}{leaf.speedup:>8.2f}"
+        )
+        previous = path
+    return "\n".join(lines)
+
+
+def render_interference(
+    breakdowns: list[LlcInterference], width: int = 30
+) -> str:
+    """Negative / positive / net LLC interference bars (Figures 8, 9)."""
+    scale = max(
+        (max(abs(b.negative), abs(b.positive), abs(b.net))
+         for b in breakdowns),
+        default=1.0,
+    )
+    lines = []
+    for b in breakdowns:
+        lines.append(b.name)
+        for label, value in (
+            ("neg cache interference", b.negative),
+            ("pos cache interference", b.positive),
+            ("net interference", b.net),
+        ):
+            bar = _bar(abs(value), scale, width)
+            sign = "-" if value < 0 else " "
+            lines.append(f"  {label:<24s}{value:>8.2f}  {sign}{bar}")
+    return "\n".join(lines)

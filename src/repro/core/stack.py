@@ -1,0 +1,159 @@
+"""Speedup stacks (the paper's central contribution, Section 2).
+
+A :class:`SpeedupStack` expresses Equation 4::
+
+    Ŝ = N − Σᵢ Σⱼ O(i,j) / Tp + Σᵢ Pᵢ / Tp
+
+as a stacked bar of height ``N``: the base speedup (``N`` minus all
+overhead components), the positive-interference bonus, and one segment
+per scaling delimiter.  Stacks are built from an
+:class:`~repro.accounting.report.AccountingReport` (one accounted
+multi-threaded run); if a measured single-threaded time is supplied the
+stack also carries the *actual* speedup for validation (Equation 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accounting.report import AccountingReport
+from repro.core.components import Component, STACK_ORDER
+
+
+@dataclass(frozen=True)
+class SpeedupStack:
+    """One speedup stack for an ``n_threads``-thread run."""
+
+    name: str
+    n_threads: int
+    tp_cycles: int
+    #: aggregate overhead components in speedup units (cycles / Tp)
+    negative_llc: float
+    negative_memory: float
+    positive_llc: float
+    spinning: float
+    yielding: float
+    imbalance: float
+    coherency: float = 0.0
+    #: measured speedup Ts/Tp, when a reference run is available
+    actual_speedup: float | None = None
+    #: measured single-threaded cycles, when available
+    ts_cycles: int | None = None
+
+    # ------------------------------------------------------------------
+    # derived quantities (Section 2)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_overhead(self) -> float:
+        """Σᵢ Σⱼ O(i,j) / Tp across all overhead categories."""
+        return (
+            self.negative_llc
+            + self.negative_memory
+            + self.spinning
+            + self.yielding
+            + self.imbalance
+            + self.coherency
+        )
+
+    @property
+    def base_speedup(self) -> float:
+        """``Ŝ_base = N − Σ O / Tp`` (Equation 5): speedup not counting
+        positive interference."""
+        return self.n_threads - self.total_overhead
+
+    @property
+    def estimated_speedup(self) -> float:
+        """``Ŝ = Ŝ_base + Σ P / Tp`` (Equations 3–4)."""
+        return self.base_speedup + self.positive_llc
+
+    @property
+    def net_negative_llc(self) -> float:
+        """Negative minus positive LLC interference ("the net negative
+        interference is computed as the negative interference component
+        minus the positive interference component")."""
+        return self.negative_llc - self.positive_llc
+
+    @property
+    def estimation_error(self) -> float | None:
+        """``(Ŝ − S) / N`` (Equation 6), when actual speedup is known."""
+        if self.actual_speedup is None:
+            return None
+        return (self.estimated_speedup - self.actual_speedup) / self.n_threads
+
+    def segments(self) -> dict[Component, float]:
+        """Bottom-to-top stack segments; they sum to ``N`` (Figure 2).
+
+        The negative-LLC segment shown is the *net* component, so base +
+        positive + net-negative reconstructs the full negative component
+        exactly as in Figure 5.
+        """
+        return {
+            Component.BASE_SPEEDUP: self.base_speedup,
+            Component.POSITIVE_LLC: self.positive_llc,
+            Component.NET_NEGATIVE_LLC: self.net_negative_llc,
+            Component.NEGATIVE_MEMORY: self.negative_memory,
+            Component.COHERENCY: self.coherency,
+            Component.SPINNING: self.spinning,
+            Component.YIELDING: self.yielding,
+            Component.IMBALANCE: self.imbalance,
+        }
+
+    def delimiters(self) -> dict[Component, float]:
+        """Only the scaling-delimiter segments, for bottleneck ranking."""
+        return {
+            comp: value
+            for comp, value in self.segments().items()
+            if comp.is_delimiter
+        }
+
+    def ranked_delimiters(
+        self, significance: float = 0.0
+    ) -> list[tuple[Component, float]]:
+        """Delimiters sorted largest-first, dropping those at or below
+        ``significance`` (in speedup units)."""
+        ranked = sorted(
+            self.delimiters().items(), key=lambda item: item[1], reverse=True
+        )
+        return [(comp, value) for comp, value in ranked if value > significance]
+
+    def validate_consistency(self, tolerance: float = 1e-6) -> None:
+        """Assert the stack's defining invariant: segments sum to N."""
+        total = sum(self.segments().values())
+        if abs(total - self.n_threads) > tolerance:
+            raise AssertionError(
+                f"stack segments sum to {total}, expected {self.n_threads}"
+            )
+
+
+def build_stack(
+    name: str,
+    report: AccountingReport,
+    ts_cycles: int | None = None,
+) -> SpeedupStack:
+    """Build a speedup stack from one accounted multi-threaded run.
+
+    ``ts_cycles`` is the measured single-threaded execution time of the
+    same (parallel fraction of the) program, used only to attach the
+    actual speedup for validation; the stack itself derives entirely
+    from the multi-threaded run, as in the paper.
+    """
+    totals = report.component_totals()
+    tp = report.tp_cycles
+    actual = None
+    if ts_cycles is not None and tp > 0:
+        actual = ts_cycles / tp
+    return SpeedupStack(
+        name=name,
+        n_threads=report.n_threads,
+        tp_cycles=tp,
+        negative_llc=totals["negative_llc"] / tp,
+        negative_memory=totals["negative_memory"] / tp,
+        positive_llc=totals["positive_llc"] / tp,
+        spinning=totals["spinning"] / tp,
+        yielding=totals["yielding"] / tp,
+        imbalance=totals["imbalance"] / tp,
+        coherency=totals["coherency"] / tp,
+        actual_speedup=actual,
+        ts_cycles=ts_cycles,
+    )

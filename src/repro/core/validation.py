@@ -1,0 +1,64 @@
+"""Validation metrics (Section 6).
+
+The paper validates estimated speedup ``Ŝ`` (Formula 3) against actual
+speedup ``S`` (Formula 1) with the error metric ``(Ŝ − S)/N`` (Formula
+6), reporting average absolute errors of 3.0%, 3.4%, 2.8% and 5.1% for
+2, 4, 8 and 16 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stack import SpeedupStack
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """Actual vs. estimated speedup for one (benchmark, N) point."""
+
+    name: str
+    n_threads: int
+    actual_speedup: float
+    estimated_speedup: float
+
+    @property
+    def error(self) -> float:
+        """Signed error ``(Ŝ − S)/N`` (Equation 6)."""
+        return (self.estimated_speedup - self.actual_speedup) / self.n_threads
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.error)
+
+
+def validation_row(stack: SpeedupStack) -> ValidationRow:
+    """Extract the validation point of a stack (requires a reference)."""
+    if stack.actual_speedup is None:
+        raise ValueError(f"stack {stack.name!r} has no measured speedup")
+    return ValidationRow(
+        name=stack.name,
+        n_threads=stack.n_threads,
+        actual_speedup=stack.actual_speedup,
+        estimated_speedup=stack.estimated_speedup,
+    )
+
+
+def mean_absolute_error(rows: list[ValidationRow]) -> float:
+    """Average absolute error across validation points (in fractions of
+    N; multiply by 100 for the paper's percentage figures)."""
+    if not rows:
+        raise ValueError("no validation rows")
+    return sum(row.abs_error for row in rows) / len(rows)
+
+
+def errors_by_thread_count(
+    rows: list[ValidationRow],
+) -> dict[int, float]:
+    """Mean absolute error per thread count (the paper's 2/4/8/16 rows)."""
+    grouped: dict[int, list[ValidationRow]] = {}
+    for row in rows:
+        grouped.setdefault(row.n_threads, []).append(row)
+    return {
+        n: mean_absolute_error(group) for n, group in sorted(grouped.items())
+    }

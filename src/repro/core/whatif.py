@@ -1,0 +1,151 @@
+"""What-if projection: the speedup gain from removing a bottleneck.
+
+The paper's reading of a speedup stack: each delimiter "hints towards
+the expected performance benefit from reducing a specific scaling
+bottleneck, i.e., the speedup gain if this component is reduced to
+zero."  This module turns that reading into an API — project the
+speedup under hypothetical component reductions, and rank optimization
+opportunities by their projected payoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.components import Component
+from repro.core.stack import SpeedupStack
+
+#: Delimiters a what-if scenario may reduce.
+_REDUCIBLE = (
+    Component.NET_NEGATIVE_LLC,
+    Component.NEGATIVE_MEMORY,
+    Component.COHERENCY,
+    Component.SPINNING,
+    Component.YIELDING,
+    Component.IMBALANCE,
+)
+
+
+@dataclass(frozen=True)
+class Projection:
+    """Projected speedup after reducing one or more components."""
+
+    baseline_speedup: float
+    projected_speedup: float
+    reductions: dict[Component, float]
+
+    @property
+    def gain(self) -> float:
+        """Absolute speedup gain of the scenario."""
+        return self.projected_speedup - self.baseline_speedup
+
+    @property
+    def relative_gain(self) -> float:
+        if self.baseline_speedup == 0:
+            return 0.0
+        return self.gain / self.baseline_speedup
+
+
+def project(
+    stack: SpeedupStack, reductions: dict[Component, float]
+) -> Projection:
+    """Project the speedup if each component shrinks by its fraction.
+
+    ``reductions`` maps delimiters to the fraction removed (1.0 = the
+    component disappears entirely).  The projection is first-order: the
+    removed cycles become useful parallel work, everything else is
+    unchanged — exactly the stack's own additive model.
+    """
+    for comp, fraction in reductions.items():
+        if comp not in _REDUCIBLE:
+            raise ValueError(f"{comp.label} is not a reducible delimiter")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"reduction fraction out of range: {fraction}")
+    baseline = (
+        stack.actual_speedup
+        if stack.actual_speedup is not None
+        else stack.estimated_speedup
+    )
+    segments = stack.segments()
+    gained = sum(
+        segments[comp] * fraction for comp, fraction in reductions.items()
+    )
+    return Projection(
+        baseline_speedup=baseline,
+        projected_speedup=min(float(stack.n_threads), baseline + gained),
+        reductions=dict(reductions),
+    )
+
+
+def remove_component(stack: SpeedupStack, component: Component) -> Projection:
+    """Project the speedup with one delimiter reduced to zero."""
+    return project(stack, {component: 1.0})
+
+
+@dataclass(frozen=True)
+class Opportunity:
+    """One optimization opportunity, ranked by projected payoff."""
+
+    component: Component
+    projection: Projection
+
+    @property
+    def gain(self) -> float:
+        return self.projection.gain
+
+
+def optimization_opportunities(
+    stack: SpeedupStack, significance: float = 0.05
+) -> list[Opportunity]:
+    """All delimiters worth attacking, largest projected gain first.
+
+    This is the "guide programmers and architects to tackle those
+    effects that have the largest impact" use of the stack, as a list.
+    """
+    opportunities = [
+        Opportunity(comp, remove_component(stack, comp))
+        for comp in _REDUCIBLE
+        if stack.segments()[comp] > significance
+    ]
+    opportunities.sort(key=lambda o: o.gain, reverse=True)
+    return opportunities
+
+
+def advice(stack: SpeedupStack) -> str:
+    """One-paragraph textual guidance from a stack (the paper's
+    Section 7.1 narrative, automated)."""
+    opportunities = optimization_opportunities(stack, significance=0.2)
+    if not opportunities:
+        return (
+            f"{stack.name}: no significant scaling bottleneck — the "
+            "application scales nearly ideally at this thread count."
+        )
+    top = opportunities[0]
+    hints = {
+        Component.SPINNING: (
+            "reduce lock contention: finer-grained locks, shorter "
+            "critical sections"
+        ),
+        Component.YIELDING: (
+            "reduce blocking: less serialization, better load "
+            "balancing at barriers, smaller critical sections"
+        ),
+        Component.NET_NEGATIVE_LLC: (
+            "reduce cache interference: shrink per-thread working "
+            "sets, partition the LLC, or block for cache reuse"
+        ),
+        Component.NEGATIVE_MEMORY: (
+            "reduce memory contention: fewer DRAM accesses, better "
+            "page locality, or more memory bandwidth"
+        ),
+        Component.COHERENCY: "reduce sharing/false sharing of written data",
+        Component.IMBALANCE: "balance the work across threads",
+    }
+    return (
+        f"{stack.name}: largest bottleneck is {top.component.label} "
+        f"({stack.segments()[top.component]:.2f} of {stack.n_threads} "
+        f"speedup units); removing it projects "
+        f"{top.projection.projected_speedup:.2f}x (from "
+        f"{top.projection.baseline_speedup:.2f}x) — "
+        f"{hints[top.component]}."
+    )

@@ -1,0 +1,19 @@
+"""Exception types for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Inconsistent simulator state (e.g. releasing an unheld lock)."""
+
+
+class DeadlockError(SimulationError):
+    """All unfinished threads are blocked and nothing can wake them."""
+
+
+class ConfigError(ReproError):
+    """Invalid machine or workload configuration."""

@@ -1,0 +1,1 @@
+"""Experiment protocol and per-figure drivers for the evaluation."""

@@ -1,0 +1,105 @@
+"""Experiment runner: reference + accounted runs -> speedup stacks.
+
+The paper's measurement protocol (Sections 2 and 6):
+
+1. run the program single-threaded to measure ``Ts`` (actual-speedup
+   reference; "results are gathered from the parallel fraction of the
+   benchmarks only" — our programs *are* the parallel fraction);
+2. run it with ``N`` threads on ``N`` cores with the cycle-accounting
+   hardware enabled, measuring ``Tp`` and all cycle components;
+3. build the speedup stack from the accounted run, and validate the
+   estimated speedup against ``Ts/Tp``.
+
+The runner also measures the dynamic-instruction-count increase of the
+multi-threaded run over the single-threaded run minus spin instructions,
+the paper's proxy for parallelization overhead (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accounting.accountant import CycleAccountant
+from repro.accounting.report import AccountingReport
+from repro.config import MachineConfig
+from repro.core.stack import SpeedupStack, build_stack
+from repro.sim.engine import SimResult, Simulation
+from repro.workloads.program import Program
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one (benchmark, N) experiment."""
+
+    name: str
+    n_threads: int
+    machine: MachineConfig
+    stack: SpeedupStack
+    report: AccountingReport
+    mt_result: SimResult
+    st_result: SimResult | None
+
+    @property
+    def actual_speedup(self) -> float | None:
+        return self.stack.actual_speedup
+
+    @property
+    def estimated_speedup(self) -> float:
+        return self.stack.estimated_speedup
+
+    @property
+    def parallelization_overhead(self) -> float | None:
+        """Fractional extra instructions of the MT run over the ST run,
+        after subtracting spin-loop instructions (Section 6)."""
+        if self.st_result is None:
+            return None
+        st_instrs = self.st_result.total_instrs
+        if st_instrs == 0:
+            return None
+        mt_real = self.mt_result.total_instrs - self.mt_result.total_spin_instrs
+        return (mt_real - st_instrs) / st_instrs
+
+
+def run_accounted(
+    machine: MachineConfig, program: Program
+) -> tuple[SimResult, AccountingReport]:
+    """One multi-threaded run with the accounting hardware attached."""
+    accountant = CycleAccountant(machine)
+    result = Simulation(machine, program, accountant).run()
+    return result, accountant.report(result)
+
+
+def run_reference(machine: MachineConfig, program: Program) -> SimResult:
+    """Single-threaded reference run of a one-thread program on one core
+    of the same machine (no accounting hardware needed)."""
+    if program.n_threads != 1:
+        raise ValueError(
+            "reference run expects the single-threaded program variant"
+        )
+    single_core = machine.with_cores(1)
+    return Simulation(single_core, program).run()
+
+
+def run_experiment(
+    name: str,
+    machine: MachineConfig,
+    mt_program: Program,
+    st_program: Program | None = None,
+) -> ExperimentResult:
+    """Full protocol: (optional) reference run, accounted run, stack."""
+    st_result = None
+    ts = None
+    if st_program is not None:
+        st_result = run_reference(machine, st_program)
+        ts = st_result.total_cycles
+    mt_result, report = run_accounted(machine, mt_program)
+    stack = build_stack(name, report, ts_cycles=ts)
+    return ExperimentResult(
+        name=name,
+        n_threads=mt_program.n_threads,
+        machine=machine,
+        stack=stack,
+        report=report,
+        mt_result=mt_result,
+        st_result=st_result,
+    )

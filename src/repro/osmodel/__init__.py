@@ -1,0 +1,5 @@
+"""Operating-system model: software threads and scheduling state.
+
+The scheduling policy itself (run queues, timeslices, block/wakeup)
+lives in :mod:`repro.sim.engine`, which drives these states.
+"""

@@ -1,0 +1,87 @@
+"""Software-thread state for the OS model."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+READY = "ready"
+RUNNING = "running"
+BLOCKED = "blocked"
+FINISHED = "finished"
+
+#: Reasons a thread leaves a core.
+BLOCK_SYNC = "sync"
+BLOCK_PREEMPT = "preempt"
+
+
+class SpinContext:
+    """State of a thread inside a contended acquire/barrier spin loop."""
+
+    __slots__ = ("kind", "obj", "iters", "episode_start", "my_generation",
+                 "contention_start")
+
+    def __init__(self, kind: str, obj, now: int, my_generation: int = 0) -> None:
+        self.kind = kind
+        self.obj = obj
+        self.iters = 0
+        self.episode_start = now
+        self.my_generation = my_generation
+        #: when the thread first started waiting (never reset by wakeups)
+        self.contention_start = now
+
+    def restart(self, now: int) -> None:
+        """Reset the spin budget after the thread was woken by the OS."""
+        self.iters = 0
+        self.episode_start = now
+
+
+class SoftwareThread:
+    """One software thread: an op stream plus scheduling state."""
+
+    __slots__ = (
+        "tid",
+        "body",
+        "state",
+        "core_id",
+        "ready_time",
+        "spin",
+        "block_start",
+        "block_reason",
+        "run_start",
+        "instrs",
+        "spin_instrs",
+        "sync_instrs",
+        "end_time",
+        "n_yields",
+        "n_lock_acquires",
+        "n_barrier_waits",
+        "gt_spin_cycles",
+        "gt_sync_cycles",
+        "gt_yield_cycles",
+    )
+
+    def __init__(self, tid: int, body: Iterator) -> None:
+        self.tid = tid
+        self.body = body
+        self.state = READY
+        self.core_id = -1
+        self.ready_time = 0
+        self.spin: SpinContext | None = None
+        self.block_start = 0
+        self.block_reason = ""
+        self.run_start = 0
+        self.instrs = 0
+        self.spin_instrs = 0
+        self.sync_instrs = 0
+        self.end_time = -1
+        self.n_yields = 0
+        self.n_lock_acquires = 0
+        self.n_barrier_waits = 0
+        # Ground-truth ("oracle") cycle counters maintained by the engine,
+        # used to validate the hardware accounting estimates in tests.
+        self.gt_spin_cycles = 0
+        self.gt_sync_cycles = 0
+        self.gt_yield_cycles = 0
+
+    def __repr__(self) -> str:
+        return f"SoftwareThread(tid={self.tid}, state={self.state})"

@@ -1,0 +1,7 @@
+"""The chip-multiprocessor simulator substrate.
+
+Stands in for the paper's gem5 setup: a deterministic discrete-event
+multicore with interval-model out-of-order cores, private L1 caches, a
+shared non-inclusive LLC, MSI coherence, and open-page DRAM behind a
+shared bus.  See :mod:`repro.sim.engine` for the execution model.
+"""

@@ -1,0 +1,83 @@
+"""Address arithmetic helpers for the memory hierarchy.
+
+Physical addresses are plain integers.  Each structure (cache level, DRAM
+bank/page mapping) derives its index/tag decomposition from its geometry.
+Keeping this in one place ensures the timing model, the coherence
+directory and the accounting hardware (ATD, ORA) all agree on how an
+address maps onto sets, banks and pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheConfig, DramConfig
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Pre-computed shift/mask decomposition for one cache geometry."""
+
+    line_bytes: int
+    n_sets: int
+    _line_shift: int
+    _set_mask: int
+
+    @classmethod
+    def from_config(cls, config: CacheConfig) -> "CacheGeometry":
+        return cls(
+            line_bytes=config.line_bytes,
+            n_sets=config.n_sets,
+            _line_shift=config.line_bytes.bit_length() - 1,
+            _set_mask=config.n_sets - 1,
+        )
+
+    def line_addr(self, addr: int) -> int:
+        """The line-aligned address (used as the coherence/LLC key)."""
+        return addr >> self._line_shift
+
+    def set_index(self, addr: int) -> int:
+        return (addr >> self._line_shift) & self._set_mask
+
+    def tag(self, addr: int) -> int:
+        return addr >> self._line_shift >> (self.n_sets.bit_length() - 1)
+
+    def set_and_tag(self, addr: int) -> tuple[int, int]:
+        line = addr >> self._line_shift
+        return line & self._set_mask, line >> (self.n_sets.bit_length() - 1)
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Bank and page decomposition of a physical address.
+
+    Pages are interleaved across banks at page granularity: consecutive
+    pages map to consecutive banks, so a page-sized stream stays in one
+    bank and page while larger strides spread across banks.
+    """
+
+    n_banks: int
+    page_bytes: int
+    _page_shift: int
+    _bank_mask: int
+
+    @classmethod
+    def from_config(cls, config: DramConfig) -> "DramGeometry":
+        return cls(
+            n_banks=config.n_banks,
+            page_bytes=config.page_bytes,
+            _page_shift=config.page_bytes.bit_length() - 1,
+            _bank_mask=config.n_banks - 1,
+        )
+
+    def page_id(self, addr: int) -> int:
+        """Globally unique page number (row id within its bank)."""
+        return addr >> self._page_shift
+
+    def bank_index(self, addr: int) -> int:
+        return (addr >> self._page_shift) & self._bank_mask
+
+
+def word_addr(addr: int, word_bytes: int = 8) -> int:
+    """Word-aligned address, the granularity of load-value tracking."""
+    return addr & ~(word_bytes - 1)

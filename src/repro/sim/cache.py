@@ -1,0 +1,110 @@
+"""Set-associative cache tag store with configurable replacement.
+
+Used for the private L1s, the shared LLC, and (re-used unchanged) for the
+per-core auxiliary tag directories (ATDs) of the accounting hardware —
+the paper's ATD "has as many ways as the shared LLC and keeps track of
+the tags and status bits for each cache line".
+
+Three victim-selection policies: true LRU (default, the paper's
+configuration), FIFO (hits do not promote), and seeded-random
+(deterministic across runs).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+
+from repro.config import CacheConfig
+from repro.sim.address import CacheGeometry
+
+
+class SetAssocCache:
+    """A tag-only set-associative cache.
+
+    Lines are identified by their line-aligned address (``line_addr``);
+    the set index and tag are derived internally.  Each set is an
+    ``OrderedDict`` from line address to a dirty flag, ordered from
+    eviction candidate (front) to most recently inserted/used (back).
+    """
+
+    __slots__ = ("geometry", "assoc", "_sets", "n_hits", "n_misses",
+                 "n_evictions", "_promote_on_hit", "_rng")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.geometry = CacheGeometry.from_config(config)
+        self.assoc = config.assoc
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.n_sets)
+        ]
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_evictions = 0
+        self._promote_on_hit = config.replacement == "lru"
+        self._rng = (
+            random.Random(config.size_bytes ^ config.assoc)
+            if config.replacement == "random"
+            else None
+        )
+
+    def set_index_of(self, line_addr: int) -> int:
+        return line_addr & (self.geometry.n_sets - 1)
+
+    def lookup(self, line_addr: int, *, update_lru: bool = True) -> bool:
+        """Probe the cache; on a hit optionally promote the line to MRU."""
+        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        if line_addr in cache_set:
+            if update_lru and self._promote_on_hit:
+                cache_set.move_to_end(line_addr)
+            self.n_hits += 1
+            return True
+        self.n_misses += 1
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        """Probe without disturbing LRU order or hit/miss counters."""
+        return line_addr in self._sets[line_addr & (self.geometry.n_sets - 1)]
+
+    def fill(
+        self, line_addr: int, *, dirty: bool = False, owner: int = 0
+    ) -> tuple[int, bool] | None:
+        """Insert a line as MRU; return ``(victim_line, victim_dirty)`` if
+        the insertion evicted a line, else ``None``.  ``owner`` is
+        accepted for interface compatibility with the way-partitioned
+        variant and ignored here (fully shared ways)."""
+        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            cache_set[line_addr] = cache_set[line_addr] or dirty
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            if self._rng is not None:
+                victim_line = self._rng.choice(list(cache_set))
+                victim = (victim_line, cache_set.pop(victim_line))
+            else:
+                victim = cache_set.popitem(last=False)
+            self.n_evictions += 1
+        cache_set[line_addr] = dirty
+        return victim
+
+    def mark_dirty(self, line_addr: int) -> None:
+        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        if line_addr in cache_set:
+            cache_set[line_addr] = True
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line (coherence invalidation or inclusion victim)."""
+        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        if line_addr in cache_set:
+            del cache_set[line_addr]
+            return True
+        return False
+
+    def occupancy(self) -> int:
+        """Total number of valid lines (for tests and introspection)."""
+        return sum(len(s) for s in self._sets)
+
+    def lines_in_set(self, set_index: int) -> list[int]:
+        """Line addresses in one set, LRU first (for tests)."""
+        return list(self._sets[set_index].keys())

@@ -1,0 +1,534 @@
+"""Multi-core execution engine.
+
+The engine is a conservative discrete-event simulator: every core owns a
+local clock, and the engine repeatedly advances the runnable core with
+the *smallest* clock by one step (a compute chunk, one memory operation,
+one spin-loop iteration, or one scheduling action).  Because shared
+state — the memory hierarchy, lock/barrier state, run queues — is only
+touched at a step's start time, and steps execute in global start-time
+order, the simulation is causally consistent and fully deterministic.
+
+The engine also embodies the OS model: per-core run queues, round-robin
+thread placement, timeslice preemption, and futex-style block/wakeup
+used by the spin-then-yield synchronization library.  Yield intervals
+("the time a thread is scheduled out", Section 4.4) are reported to the
+accounting layer from here, exactly as the paper has the operating
+system do it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.accounting.interface import NULL_ACCOUNTANT
+from repro.config import MachineConfig
+from repro.errors import DeadlockError, SimulationError
+from repro.osmodel.thread import (
+    BLOCKED,
+    BLOCK_PREEMPT,
+    BLOCK_SYNC,
+    FINISHED,
+    READY,
+    RUNNING,
+    SoftwareThread,
+    SpinContext,
+)
+from repro.sim.cmp import Chip
+from repro.sync import primitives as sync_pc
+from repro.sync.primitives import BarrierState, LockState, SyncManager
+from repro.workloads.program import (
+    Program,
+    TAG_BARRIER_WAIT,
+    TAG_COMPUTE,
+    TAG_LOAD,
+    TAG_LOCK_ACQUIRE,
+    TAG_LOCK_RELEASE,
+    TAG_FUTEX_WAIT,
+    TAG_FUTEX_WAKE,
+    TAG_STORE,
+    TAG_YIELD_CPU,
+)
+
+_INFINITY = float("inf")
+
+
+class _CoreRuntime:
+    """Per-core scheduling state."""
+
+    __slots__ = ("core_id", "now", "current", "queue", "busy_cycles")
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self.now = 0
+        self.current: SoftwareThread | None = None
+        self.queue: deque[SoftwareThread] = deque()
+        self.busy_cycles = 0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    machine: MachineConfig
+    threads: list[SoftwareThread]
+    chip: Chip
+    sync: SyncManager
+    #: multi-threaded execution time: cycles until the last thread ends
+    total_cycles: int
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def thread_end_times(self) -> list[int]:
+        return [t.end_time for t in self.threads]
+
+    @property
+    def imbalance_cycles(self) -> list[int]:
+        """Per-thread end-of-program imbalance (Section 4.6): the gap
+        between each thread's finish time and the slowest thread's."""
+        return [self.total_cycles - t.end_time for t in self.threads]
+
+    @property
+    def total_instrs(self) -> int:
+        return sum(t.instrs for t in self.threads)
+
+    @property
+    def total_spin_instrs(self) -> int:
+        return sum(t.spin_instrs for t in self.threads)
+
+
+class Simulation:
+    """Execute a :class:`Program` on a simulated CMP."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        program: Program,
+        accountant=NULL_ACCOUNTANT,
+        trace=None,
+        barrier_observer=None,
+    ) -> None:
+        self.machine = machine
+        self.program = program
+        self.accountant = accountant
+        self.trace = trace
+        self.barrier_observer = barrier_observer
+        self.chip = Chip(machine, accountant)
+        self.sync = SyncManager(
+            program.n_threads,
+            lock_fifo_handoff=getattr(program, "lock_fifo_handoff", False),
+        )
+        self.threads = [
+            SoftwareThread(tid, body)
+            for tid, body in enumerate(program.thread_bodies)
+        ]
+        self.cores = [_CoreRuntime(i) for i in range(machine.n_cores)]
+        for thread in self.threads:
+            core = self.cores[thread.tid % machine.n_cores]
+            thread.core_id = core.core_id
+            core.queue.append(thread)
+        self._n_finished = 0
+        self._dispatch_cost = (
+            machine.sched.context_switch_cycles
+            + machine.sched.overhead_per_core_cycles * machine.n_cores
+        )
+        self._width = machine.core.dispatch_width
+        override = getattr(program, "spin_threshold_override", None)
+        self._spin_threshold = (
+            override if override is not None else machine.sync.spin_threshold
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> SimResult:
+        self._warm_caches()
+        n_threads = len(self.threads)
+        while self._n_finished < n_threads:
+            core = self._pick_core()
+            if core is None:
+                blocked = [t.tid for t in self.threads if t.state == BLOCKED]
+                raise DeadlockError(
+                    f"no runnable core; blocked threads: {blocked}"
+                )
+            if max_cycles is not None and core.now > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles} at t={core.now}"
+                )
+            self._step(core)
+        total = max(t.end_time for t in self.threads)
+        return SimResult(
+            machine=self.machine,
+            threads=self.threads,
+            chip=self.chip,
+            sync=self.sync,
+            total_cycles=total,
+        )
+
+    def _warm_caches(self) -> None:
+        """Untimed warmup: interleave the threads' working-set addresses
+        round-robin through the cache hierarchy so LLC occupancy starts
+        from a fair steady state."""
+        warmup = self.program.warmup
+        if not warmup:
+            return
+        n_cores = self.machine.n_cores
+        chip = self.chip
+        iters = [iter(addrs) for addrs in warmup]
+        live = list(range(len(iters)))
+        while live:
+            still_live = []
+            for tid in live:
+                addr = next(iters[tid], None)
+                if addr is None:
+                    continue
+                chip.warm_line(tid % n_cores, addr)
+                still_live.append(tid)
+            live = still_live
+
+    def _pick_core(self) -> _CoreRuntime | None:
+        best: _CoreRuntime | None = None
+        best_time = _INFINITY
+        for core in self.cores:
+            if core.current is not None:
+                avail = core.now
+            elif core.queue:
+                earliest = min(t.ready_time for t in core.queue)
+                avail = earliest if earliest > core.now else core.now
+            else:
+                continue
+            if avail < best_time:
+                best_time = avail
+                best = core
+        if best is not None and best.current is None and best_time > best.now:
+            best.now = int(best_time)
+        return best
+
+    # ------------------------------------------------------------------
+    # one step of one core
+    # ------------------------------------------------------------------
+
+    def _step(self, core: _CoreRuntime) -> None:
+        thread = core.current
+        if thread is None:
+            self._dispatch(core)
+            return
+        before = core.now
+        if thread.spin is not None:
+            self._spin_iteration(core, thread)
+            thread.gt_spin_cycles += core.now - before
+        else:
+            self._execute_next_op(core, thread)
+        core.busy_cycles += core.now - before
+        self.chip.stats[core.core_id].busy_cycles += core.now - before
+        self._maybe_preempt(core)
+
+    def _dispatch(self, core: _CoreRuntime) -> None:
+        thread = self._pop_eligible(core)
+        if thread is None:
+            raise SimulationError(f"dispatch on core {core.core_id} with no "
+                                  "eligible thread")
+        core.now += self._dispatch_cost
+        if thread.block_reason == BLOCK_SYNC:
+            thread.gt_yield_cycles += core.now - thread.block_start
+        if self.accountant.enabled:
+            self.accountant.on_context_switch(core.core_id)
+            if thread.block_reason == BLOCK_SYNC:
+                self.accountant.on_yield_interval(
+                    thread.tid, thread.block_start, core.now
+                )
+        thread.block_reason = ""
+        thread.state = RUNNING
+        thread.run_start = core.now
+        core.current = thread
+        if self.trace is not None:
+            self.trace.on_run_start(thread.tid, core.core_id, core.now)
+        if thread.spin is not None:
+            thread.spin.restart(core.now)
+
+    def _pop_eligible(self, core: _CoreRuntime) -> SoftwareThread | None:
+        queue = core.queue
+        for index, thread in enumerate(queue):
+            if thread.ready_time <= core.now:
+                del queue[index]
+                return thread
+        return None
+
+    def _maybe_preempt(self, core: _CoreRuntime) -> None:
+        thread = core.current
+        if thread is None:
+            return
+        if core.now - thread.run_start < self.machine.sched.timeslice_cycles:
+            return
+        if not any(t.ready_time <= core.now for t in core.queue):
+            return
+        core.now += self.chip.drain(core.core_id, core.now)
+        thread.state = READY
+        thread.ready_time = core.now
+        thread.block_reason = BLOCK_PREEMPT
+        core.queue.append(thread)
+        core.current = None
+        if self.trace is not None:
+            self.trace.on_run_end(thread.tid, core.now, "preempted")
+
+    # ------------------------------------------------------------------
+    # op execution
+    # ------------------------------------------------------------------
+
+    def _execute_next_op(self, core: _CoreRuntime, thread: SoftwareThread) -> None:
+        op = next(thread.body, None)
+        if op is None:
+            self._finish_thread(core, thread)
+            return
+        tag = op.TAG
+        cid = core.core_id
+        now = core.now
+        chip = self.chip
+        if tag == TAG_COMPUTE:
+            n = op.n
+            thread.instrs += n
+            core.now = now + (-(-n // self._width)) + chip.compute(cid, n, now)
+        elif tag == TAG_LOAD:
+            thread.instrs += 1
+            stall = chip.load(
+                cid, op.addr, op.pc, now,
+                overlappable=op.overlappable, dependent=op.dependent,
+            )
+            core.now = now + 1 + stall
+        elif tag == TAG_STORE:
+            thread.instrs += 1
+            core.now = now + 1 + chip.store(cid, op.addr, op.pc, now)
+        elif tag == TAG_LOCK_ACQUIRE:
+            self._lock_acquire(core, thread, self.sync.lock(op.lock_id))
+        elif tag == TAG_LOCK_RELEASE:
+            self._lock_release(core, thread, self.sync.lock(op.lock_id))
+        elif tag == TAG_BARRIER_WAIT:
+            self._barrier_wait(core, thread, self.sync.barrier(op.barrier_id))
+        elif tag == TAG_YIELD_CPU:
+            core.now += self.chip.drain(cid, core.now)
+            thread.state = READY
+            thread.ready_time = core.now
+            thread.block_reason = BLOCK_PREEMPT
+            core.queue.append(thread)
+            core.current = None
+            if self.trace is not None:
+                self.trace.on_run_end(thread.tid, core.now, "preempted")
+        elif tag == TAG_FUTEX_WAIT:
+            core.now += self.chip.drain(cid, core.now)
+            self.sync.futex_queue(op.addr).append(thread)
+            thread.state = BLOCKED
+            thread.block_start = core.now
+            thread.block_reason = BLOCK_SYNC
+            thread.n_yields += 1
+            core.current = None
+            if self.trace is not None:
+                self.trace.on_run_end(thread.tid, core.now, "blocked")
+        elif tag == TAG_FUTEX_WAKE:
+            queue = self.sync.futex_queue(op.addr)
+            if op.wake_all:
+                while queue:
+                    self._wake(queue.popleft(), core.now)
+            elif queue:
+                self._wake(queue.popleft(), core.now)
+        else:  # pragma: no cover - op classes are closed
+            raise SimulationError(f"unknown op {op!r}")
+
+    def _finish_thread(self, core: _CoreRuntime, thread: SoftwareThread) -> None:
+        core.now += self.chip.drain(core.core_id, core.now)
+        thread.state = FINISHED
+        thread.end_time = core.now
+        core.current = None
+        self._n_finished += 1
+        if self.trace is not None:
+            self.trace.on_run_end(thread.tid, core.now, "finished")
+
+    # ------------------------------------------------------------------
+    # synchronization state machines
+    # ------------------------------------------------------------------
+
+    def _charge_sync_instrs(self, thread: SoftwareThread, n: int) -> None:
+        thread.instrs += n
+        thread.sync_instrs += n
+
+    def _lock_acquire(
+        self, core: _CoreRuntime, thread: SoftwareThread, lock: LockState
+    ) -> None:
+        cid = core.core_id
+        core.now += self.chip.drain(cid, core.now)
+        t_start = core.now
+        # Test-and-set: load the lock word; if free, claim it with a store.
+        self._charge_sync_instrs(thread, 1)
+        core.now += 1 + self.chip.load(
+            cid, lock.addr, sync_pc.PC_LOCK_TEST, core.now,
+            overlappable=False, dependent=True,
+        )
+        if lock.is_free:
+            self._claim_lock(core, thread, lock)
+        else:
+            lock.n_contended += 1
+            thread.spin = SpinContext("lock", lock, core.now)
+        thread.gt_sync_cycles += core.now - t_start
+
+    def _claim_lock(
+        self, core: _CoreRuntime, thread: SoftwareThread, lock: LockState
+    ) -> None:
+        self._charge_sync_instrs(thread, 1)
+        core.now += 1 + self.chip.store(
+            core.core_id, lock.addr, sync_pc.PC_LOCK_TEST + 4, core.now
+        )
+        if thread.spin is not None:
+            lock.total_wait_cycles += core.now - thread.spin.contention_start
+        lock.holder = thread
+        lock.hold_start = core.now
+        lock.n_acquires += 1
+        thread.n_lock_acquires += 1
+        thread.spin = None
+
+    def _lock_release(
+        self, core: _CoreRuntime, thread: SoftwareThread, lock: LockState
+    ) -> None:
+        if lock.holder is not thread:
+            raise SimulationError(
+                f"thread {thread.tid} releasing lock {lock.lock_id} held by "
+                f"{lock.holder.tid if lock.holder else None}"
+            )
+        cid = core.core_id
+        core.now += self.chip.drain(cid, core.now)
+        t_start = core.now
+        self._charge_sync_instrs(thread, 1)
+        core.now += 1 + self.chip.store(
+            cid, lock.addr, sync_pc.PC_LOCK_TEST + 8, core.now
+        )
+        lock.total_hold_cycles += core.now - lock.hold_start
+        lock.holder = None
+        if lock.waiters:
+            waiter = lock.waiters.popleft()
+            if lock.fifo_handoff:
+                # Direct handoff: ownership passes to the woken waiter,
+                # so barging spinners cannot steal the lock.
+                lock.holder = waiter
+            self._wake(waiter, core.now)
+        thread.gt_sync_cycles += core.now - t_start
+
+    def _barrier_wait(
+        self, core: _CoreRuntime, thread: SoftwareThread, barrier: BarrierState
+    ) -> None:
+        cid = core.core_id
+        core.now += self.chip.drain(cid, core.now)
+        t_start = core.now
+        thread.n_barrier_waits += 1
+        if self.barrier_observer is not None:
+            self.barrier_observer.on_arrival(
+                barrier.barrier_id, thread.tid, core.now
+            )
+        # Atomic fetch-and-increment of the arrival counter.
+        self._charge_sync_instrs(thread, 2)
+        core.now += 1 + self.chip.load(
+            cid, barrier.count_addr, sync_pc.PC_BARRIER_ARRIVE, core.now,
+            overlappable=False, dependent=True,
+        )
+        core.now += 1 + self.chip.store(
+            cid, barrier.count_addr, sync_pc.PC_BARRIER_ARRIVE + 4, core.now
+        )
+        my_generation = barrier.generation
+        if barrier.arrive():
+            # Last party: bump the generation word and release everyone.
+            self._charge_sync_instrs(thread, 1)
+            core.now += 1 + self.chip.store(
+                cid, barrier.gen_addr, sync_pc.PC_BARRIER_ARRIVE + 8, core.now
+            )
+            while barrier.waiters:
+                self._wake(barrier.waiters.popleft(), core.now)
+            if self.barrier_observer is not None:
+                self.barrier_observer.on_release(
+                    barrier.barrier_id, core.now
+                )
+        else:
+            thread.spin = SpinContext(
+                "barrier", barrier, core.now, my_generation=my_generation
+            )
+        thread.gt_sync_cycles += core.now - t_start
+
+    def _spin_iteration(self, core: _CoreRuntime, thread: SoftwareThread) -> None:
+        ctx = thread.spin
+        assert ctx is not None
+        cid = core.core_id
+        sync_cfg = self.machine.sync
+        is_lock = ctx.kind == "lock"
+        if is_lock:
+            spin_addr = ctx.obj.addr
+            pc_load = sync_pc.PC_LOCK_SPIN_LOAD
+            pc_branch = sync_pc.PC_LOCK_SPIN_BRANCH
+        else:
+            spin_addr = ctx.obj.gen_addr
+            pc_load = sync_pc.PC_BARRIER_SPIN_LOAD
+            pc_branch = sync_pc.PC_BARRIER_SPIN_BRANCH
+
+        n_loop = sync_cfg.spin_iter_instrs
+        thread.spin_instrs += n_loop + 1
+        thread.instrs += n_loop + 1
+        chip = self.chip
+        core.now += -(-n_loop // self._width) + chip.compute(cid, n_loop, core.now)
+        core.now += 1 + chip.load(
+            cid, spin_addr, pc_load, core.now, overlappable=False, dependent=True
+        )
+        if self.accountant.enabled:
+            version, _ = chip.directory.load_value(spin_addr)
+            self.accountant.on_backward_branch(cid, pc_branch, version, core.now)
+        ctx.iters += 1
+
+        if is_lock:
+            if ctx.obj.is_free:
+                self._claim_lock(core, thread, ctx.obj)
+                return
+            if ctx.obj.holder is thread:
+                # FIFO direct handoff granted while we were waking up.
+                ctx.obj.total_wait_cycles += core.now - ctx.contention_start
+                ctx.obj.hold_start = core.now
+                ctx.obj.n_acquires += 1
+                thread.n_lock_acquires += 1
+                thread.spin = None
+                return
+        else:
+            if ctx.obj.generation != ctx.my_generation:
+                thread.spin = None
+                return
+        if ctx.iters >= self._spin_threshold:
+            self._yield_thread(core, thread)
+
+    def _yield_thread(self, core: _CoreRuntime, thread: SoftwareThread) -> None:
+        ctx = thread.spin
+        assert ctx is not None
+        if self.accountant.enabled:
+            self.accountant.on_spin_truncated(
+                core.core_id, core.now - ctx.episode_start
+            )
+        core.now += self.chip.drain(core.core_id, core.now)
+        waiters = ctx.obj.waiters
+        waiters.append(thread)
+        thread.state = BLOCKED
+        thread.block_start = core.now
+        thread.block_reason = BLOCK_SYNC
+        thread.n_yields += 1
+        core.current = None
+        if self.trace is not None:
+            self.trace.on_run_end(thread.tid, core.now, "blocked")
+
+    def _wake(self, thread: SoftwareThread, now: int) -> None:
+        thread.state = READY
+        thread.ready_time = now + self.machine.sched.wakeup_latency_cycles
+        self.cores[thread.core_id].queue.append(thread)
+
+
+def simulate(
+    machine: MachineConfig,
+    program: Program,
+    accountant=NULL_ACCOUNTANT,
+    max_cycles: int | None = None,
+) -> SimResult:
+    """Convenience wrapper: build a :class:`Simulation` and run it."""
+    return Simulation(machine, program, accountant).run(max_cycles=max_cycles)

@@ -1,0 +1,180 @@
+"""Main-memory model: shared bus, independent banks, open-page policy.
+
+Negative memory interference in the paper comes from three places
+(Section 3.1), all modelled here:
+
+* **bus conflicts** — the single memory bus is occupied by another core's
+  transfer when an access wants it;
+* **bank conflicts** — the target bank is still servicing another core's
+  access;
+* **open-page conflicts** — another core opened a different page in the
+  bank between two of this core's accesses to the same page, turning a
+  would-be row-buffer hit into a page conflict (precharge + activate).
+
+Every access returns a :class:`DramAccessResult` carrying both its total
+latency and the decomposition of its waiting time into own-core versus
+other-core cycles, which is what the accounting hardware consumes
+("if a memory access is ready to access the bus or a specific memory
+bank, and the bus or bank is occupied by a memory access of another
+core, then the waiting time until the bus or bank is free is accounted
+as interference cycles", Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.config import DramConfig
+from repro.sim.address import DramGeometry
+
+PAGE_HIT = "hit"
+PAGE_EMPTY = "empty"
+PAGE_CONFLICT = "conflict"
+
+
+@dataclass(frozen=True)
+class DramAccessResult:
+    """Timing and attribution of one DRAM access."""
+
+    latency: int
+    bank_index: int
+    page_id: int
+    page_outcome: str
+    #: page that was open in the bank before this access (None if empty)
+    prev_open_page: int | None
+    #: core that had opened that page (None if bank was empty)
+    prev_opener: int | None
+    bus_wait_other: int
+    bank_wait_other: int
+    #: extra cycles this access paid versus a page hit (0 when outcome=hit)
+    page_extra_cycles: int
+
+
+class _SharedResource:
+    """A resource that is busy for intervals, with per-core attribution.
+
+    Keeps a short history of reservations ``(start, end, core)`` so that a
+    waiting interval can be split into cycles caused by the same core
+    (its own earlier requests) and cycles caused by other cores.
+    """
+
+    __slots__ = ("free_time", "_reservations")
+
+    def __init__(self) -> None:
+        self.free_time = 0
+        self._reservations: deque[tuple[int, int, int]] = deque()
+
+    def reserve(self, t_ready: int, duration: int, core_id: int) -> tuple[int, int]:
+        """Reserve the resource; returns (start_time, wait_from_others)."""
+        start = self.free_time if self.free_time > t_ready else t_ready
+        wait_other = 0
+        if start > t_ready:
+            wait_other = self._overlap_from_others(t_ready, start, core_id)
+        end = start + duration
+        self.free_time = end
+        reservations = self._reservations
+        reservations.append((start, end, core_id))
+        while reservations and reservations[0][1] <= t_ready:
+            reservations.popleft()
+        return start, wait_other
+
+    def _overlap_from_others(self, t_from: int, t_to: int, core_id: int) -> int:
+        total = 0
+        for start, end, owner in self._reservations:
+            if owner == core_id or end <= t_from or start >= t_to:
+                continue
+            lo = start if start > t_from else t_from
+            hi = end if end < t_to else t_to
+            total += hi - lo
+        return total if total < t_to - t_from else t_to - t_from
+
+
+class _Bank:
+    """One DRAM bank: busy window plus the currently open page."""
+
+    __slots__ = ("resource", "open_page", "opener_core")
+
+    def __init__(self) -> None:
+        self.resource = _SharedResource()
+        self.open_page: int | None = None
+        self.opener_core: int | None = None
+
+
+class MainMemory:
+    """Open-page DRAM behind a single shared bus."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.geometry = DramGeometry.from_config(config)
+        self.bus = _SharedResource()
+        self.banks = [_Bank() for _ in range(config.n_banks)]
+        self.n_accesses = 0
+        self.n_page_hits = 0
+        self.n_page_conflicts = 0
+        self.n_writebacks = 0
+
+    def access(self, addr: int, core_id: int, t_request: int) -> DramAccessResult:
+        """Service a demand access (LLC miss) arriving at ``t_request``."""
+        self.n_accesses += 1
+        bank_index = self.geometry.bank_index(addr)
+        page_id = self.geometry.page_id(addr)
+        bank = self.banks[bank_index]
+
+        prev_open_page = bank.open_page
+        prev_opener = bank.opener_core
+        if prev_open_page is None:
+            outcome = PAGE_EMPTY
+            service = self.config.page_empty_cycles
+        elif prev_open_page == page_id:
+            outcome = PAGE_HIT
+            service = self.config.page_hit_cycles
+            self.n_page_hits += 1
+        else:
+            outcome = PAGE_CONFLICT
+            service = self.config.page_conflict_cycles
+            self.n_page_conflicts += 1
+
+        bank_start, bank_wait_other = bank.resource.reserve(
+            t_request, service, core_id
+        )
+        bank_done = bank_start + service
+        bank.open_page = page_id
+        bank.opener_core = core_id
+
+        bus_start, bus_wait_other = self.bus.reserve(
+            bank_done, self.config.bus_cycles, core_id
+        )
+        done = bus_start + self.config.bus_cycles
+
+        return DramAccessResult(
+            latency=done - t_request,
+            bank_index=bank_index,
+            page_id=page_id,
+            page_outcome=outcome,
+            prev_open_page=prev_open_page,
+            prev_opener=prev_opener,
+            bus_wait_other=bus_wait_other,
+            bank_wait_other=bank_wait_other,
+            page_extra_cycles=service - self.config.page_hit_cycles,
+        )
+
+    def writeback(self, addr: int, core_id: int, t_request: int) -> None:
+        """Fire-and-forget write of a dirty LLC victim.
+
+        The writing core does not stall, but the write occupies the bus
+        and a bank, so it interferes with other cores' demand accesses.
+        """
+        self.n_writebacks += 1
+        bank = self.banks[self.geometry.bank_index(addr)]
+        page_id = self.geometry.page_id(addr)
+        if bank.open_page == page_id:
+            service = self.config.page_hit_cycles
+        elif bank.open_page is None:
+            service = self.config.page_empty_cycles
+        else:
+            service = self.config.page_conflict_cycles
+        bank_start, _ = bank.resource.reserve(t_request, service, core_id)
+        bank.open_page = page_id
+        bank.opener_core = core_id
+        self.bus.reserve(bank_start + service, self.config.bus_cycles, core_id)

@@ -1,0 +1,144 @@
+"""Execution tracing: thread-state timelines of a simulated run.
+
+A :class:`TraceRecorder` attached to a :class:`~repro.sim.engine.Simulation`
+records every interval in which a thread occupies a core, labelled with
+how the interval ended (blocked, preempted, yielded, finished).  The
+trace can be rendered as an ASCII per-core timeline (quick diagnosis of
+convoys, idle cores, stragglers) or exported in the Chrome trace-event
+format (``chrome://tracing`` / Perfetto) for interactive inspection.
+
+Tracing is optional and adds no cost when absent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+END_BLOCKED = "blocked"
+END_PREEMPTED = "preempted"
+END_FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class RunInterval:
+    """One scheduling interval: a thread running on a core."""
+
+    thread_id: int
+    core_id: int
+    start: int
+    end: int
+    end_reason: str
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects scheduling intervals from the engine."""
+
+    def __init__(self) -> None:
+        self.intervals: list[RunInterval] = []
+        self._open: dict[int, tuple[int, int]] = {}  # tid -> (core, start)
+
+    # -- engine hooks ---------------------------------------------------
+
+    def on_run_start(self, thread_id: int, core_id: int, now: int) -> None:
+        self._open[thread_id] = (core_id, now)
+
+    def on_run_end(self, thread_id: int, now: int, reason: str) -> None:
+        entry = self._open.pop(thread_id, None)
+        if entry is None:
+            return
+        core_id, start = entry
+        if now < start:
+            now = start
+        self.intervals.append(
+            RunInterval(thread_id, core_id, start, now, reason)
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def intervals_of_thread(self, thread_id: int) -> list[RunInterval]:
+        return [iv for iv in self.intervals if iv.thread_id == thread_id]
+
+    def intervals_of_core(self, core_id: int) -> list[RunInterval]:
+        return [iv for iv in self.intervals if iv.core_id == core_id]
+
+    def busy_cycles_of_core(self, core_id: int) -> int:
+        return sum(iv.duration for iv in self.intervals_of_core(core_id))
+
+    def run_cycles_of_thread(self, thread_id: int) -> int:
+        return sum(iv.duration for iv in self.intervals_of_thread(thread_id))
+
+    @property
+    def end_time(self) -> int:
+        return max((iv.end for iv in self.intervals), default=0)
+
+    def core_utilization(self, n_cores: int) -> list[float]:
+        """Fraction of wall time each core spent running a thread."""
+        total = self.end_time
+        if total == 0:
+            return [0.0] * n_cores
+        return [self.busy_cycles_of_core(c) / total for c in range(n_cores)]
+
+    # -- exports ----------------------------------------------------------
+
+    def to_chrome_trace(self) -> str:
+        """Chrome trace-event JSON: one 'process' per core, complete
+        ('X') events per scheduling interval, microsecond-for-cycle."""
+        events = []
+        for iv in self.intervals:
+            events.append({
+                "name": f"thread {iv.thread_id}",
+                "cat": "run",
+                "ph": "X",
+                "pid": iv.core_id,
+                "tid": iv.thread_id,
+                "ts": iv.start,
+                "dur": iv.duration,
+                "args": {"end": iv.end_reason},
+            })
+        return json.dumps({"traceEvents": events, "displayTimeUnit": "ns"})
+
+    def render_timeline(self, n_cores: int, width: int = 72) -> str:
+        """ASCII Gantt chart: one row per core, a column per time slice;
+        the cell shows the thread id running for most of that slice
+        ('.' when the core is idle)."""
+        total = self.end_time
+        if total == 0:
+            return "(empty trace)"
+        slice_len = max(1, total // width)
+        lines = [f"timeline: {total} cycles, {slice_len} cycles/column"]
+        for core in range(n_cores):
+            occupancy = [(-1, 0)] * width  # (tid, covered cycles)
+            cells: list[dict[int, int]] = [dict() for _ in range(width)]
+            for iv in self.intervals_of_core(core):
+                first = min(width - 1, iv.start // slice_len)
+                last = min(width - 1, max(iv.start, iv.end - 1) // slice_len)
+                for column in range(first, last + 1):
+                    lo = max(iv.start, column * slice_len)
+                    hi = min(iv.end, (column + 1) * slice_len)
+                    if hi > lo:
+                        cells[column][iv.thread_id] = (
+                            cells[column].get(iv.thread_id, 0) + hi - lo
+                        )
+            row = []
+            for column in range(width):
+                if not cells[column]:
+                    row.append(".")
+                else:
+                    tid = max(cells[column], key=cells[column].get)
+                    row.append(_thread_glyph(tid))
+            lines.append(f"core {core:2d} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _thread_glyph(thread_id: int) -> str:
+    if 0 <= thread_id < len(_GLYPHS):
+        return _GLYPHS[thread_id]
+    return "#"

@@ -1,0 +1,1 @@
+"""Synchronization library: spin-then-yield locks, barriers, futexes."""

@@ -1,0 +1,165 @@
+"""Synchronization objects: spin-then-yield locks and barriers.
+
+Locks and barriers live at real (reserved) memory addresses, and every
+synchronization action is executed as genuine loads and stores through
+the memory hierarchy.  This matters for fidelity:
+
+* spin loops issue actual loads of the lock word, so the Tian et al.
+  load-watch detector (and the coherence-driven value versioning behind
+  it) observes exactly what the proposed hardware would observe;
+* releases and barrier departures are stores that invalidate the
+  spinners' L1 copies through the coherence directory, so the next spin
+  iteration misses and reads the new value — the precise signal the
+  detector keys on ("it is checked whether the new data was written by
+  another core");
+* lock and barrier words occupy distinct cache lines (no false sharing
+  between unrelated primitives).
+
+The state machines themselves (spin budget, yielding into the wait
+queue, wakeup) are driven by the execution engine; this module only
+holds the shared state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.osmodel.thread import SoftwareThread
+
+#: Base of the reserved synchronization address region.  Kept far above
+#: workload data regions (see repro.workloads.generators.AddressSpace).
+SYNC_REGION_BASE = 0x7000_0000_0000
+
+#: Synthetic PCs for synchronization code.  The lock acquire uses the
+#: test-and-test-and-set idiom, so the initial test load *is* the
+#: spin-loop load (same PC) — this is what real spin-lock code compiles
+#: to, and it lets the Tian et al. detector observe contended acquires
+#: and the subsequent spin iterations as one load stream.
+PC_LOCK_SPIN_LOAD = 0x1010
+PC_LOCK_TEST = PC_LOCK_SPIN_LOAD
+PC_LOCK_SPIN_BRANCH = 0x1018
+PC_BARRIER_ARRIVE = 0x1100
+PC_BARRIER_SPIN_LOAD = 0x1110
+PC_BARRIER_SPIN_BRANCH = 0x1118
+
+
+class LockState:
+    """A mutex: holder plus FIFO queue of yielded waiters.
+
+    Two release policies, matching real mutex families:
+
+    * *barging* (default, like glibc adaptive mutexes): the release
+      frees the lock; an actively spinning thread can grab it before a
+      woken waiter arrives — fast handoffs, favours spinning;
+    * *FIFO direct handoff* (fair mutexes / pipeline queues): the
+      release passes ownership straight to the first yielded waiter —
+      fair, deterministic, favours yielding.
+    """
+
+    __slots__ = ("lock_id", "addr", "holder", "waiters", "n_acquires",
+                 "n_contended", "fifo_handoff", "total_wait_cycles",
+                 "hold_start", "total_hold_cycles")
+
+    def __init__(self, lock_id: int, addr: int, fifo_handoff: bool = False) -> None:
+        self.lock_id = lock_id
+        self.addr = addr
+        self.holder: SoftwareThread | None = None
+        self.waiters: deque[SoftwareThread] = deque()
+        self.n_acquires = 0
+        self.n_contended = 0
+        self.fifo_handoff = fifo_handoff
+        #: cycles threads spent waiting (spinning or yielded) on this lock
+        self.total_wait_cycles = 0
+        self.hold_start = 0
+        #: cycles the lock was held
+        self.total_hold_cycles = 0
+
+    @property
+    def is_free(self) -> bool:
+        return self.holder is None
+
+
+class BarrierState:
+    """A generation-counting (sense-reversing) barrier."""
+
+    __slots__ = ("barrier_id", "count_addr", "gen_addr", "n_parties",
+                 "arrived", "generation", "waiters", "n_episodes")
+
+    def __init__(
+        self, barrier_id: int, count_addr: int, gen_addr: int, n_parties: int
+    ) -> None:
+        if n_parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.barrier_id = barrier_id
+        self.count_addr = count_addr
+        self.gen_addr = gen_addr
+        self.n_parties = n_parties
+        self.arrived = 0
+        self.generation = 0
+        self.waiters: deque[SoftwareThread] = deque()
+        self.n_episodes = 0
+
+    def arrive(self) -> bool:
+        """Register an arrival; returns True when this is the last party
+        (the caller must then release the barrier)."""
+        self.arrived += 1
+        if self.arrived == self.n_parties:
+            self.arrived = 0
+            self.generation += 1
+            self.n_episodes += 1
+            return True
+        return False
+
+
+class SyncManager:
+    """Lazily creates locks/barriers and allocates their addresses."""
+
+    _LINE = 64
+
+    def __init__(self, n_parties: int, lock_fifo_handoff: bool = False) -> None:
+        self.n_parties = n_parties
+        self.lock_fifo_handoff = lock_fifo_handoff
+        self._locks: dict[int, LockState] = {}
+        self._barriers: dict[int, BarrierState] = {}
+        self._futex_queues: dict[int, deque[SoftwareThread]] = {}
+        self._next_addr = SYNC_REGION_BASE
+
+    def _alloc_line(self) -> int:
+        addr = self._next_addr
+        self._next_addr += self._LINE
+        return addr
+
+    def lock(self, lock_id: int) -> LockState:
+        state = self._locks.get(lock_id)
+        if state is None:
+            state = LockState(
+                lock_id, self._alloc_line(), self.lock_fifo_handoff
+            )
+            self._locks[lock_id] = state
+        return state
+
+    def barrier(self, barrier_id: int) -> BarrierState:
+        state = self._barriers.get(barrier_id)
+        if state is None:
+            state = BarrierState(
+                barrier_id, self._alloc_line(), self._alloc_line(),
+                self.n_parties,
+            )
+            self._barriers[barrier_id] = state
+        return state
+
+    def futex_queue(self, addr: int) -> "deque[SoftwareThread]":
+        """FIFO of threads blocked on a futex address."""
+        queue = self._futex_queues.get(addr)
+        if queue is None:
+            queue = deque()
+            self._futex_queues[addr] = queue
+        return queue
+
+    @property
+    def locks(self) -> dict[int, LockState]:
+        return self._locks
+
+    @property
+    def barriers(self) -> dict[int, BarrierState]:
+        return self._barriers

@@ -1,0 +1,117 @@
+"""Synchronization profiling: per-lock and per-barrier contention.
+
+When a speedup stack says "spinning" or "yielding" is the bottleneck,
+the next question is *which lock*.  This report answers it from a
+finished run: acquisitions, contention rate, total waiting, holding
+time and utilization per lock, plus barrier episode counts — the data
+behind the paper's advice to "use finer grained locks and smaller
+critical sections".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import SimResult
+
+
+@dataclass(frozen=True)
+class LockProfile:
+    """Contention statistics of one lock over a run."""
+
+    lock_id: int
+    n_acquires: int
+    n_contended: int
+    total_wait_cycles: int
+    total_hold_cycles: int
+    run_cycles: int
+
+    @property
+    def contention_rate(self) -> float:
+        """Fraction of acquisitions that found the lock held."""
+        if self.n_acquires == 0:
+            return 0.0
+        return self.n_contended / self.n_acquires
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the run the lock was held (1.0 = fully serial)."""
+        if self.run_cycles == 0:
+            return 0.0
+        return min(1.0, self.total_hold_cycles / self.run_cycles)
+
+    @property
+    def mean_wait_cycles(self) -> float:
+        if self.n_contended == 0:
+            return 0.0
+        return self.total_wait_cycles / self.n_contended
+
+    @property
+    def mean_hold_cycles(self) -> float:
+        if self.n_acquires == 0:
+            return 0.0
+        return self.total_hold_cycles / self.n_acquires
+
+
+@dataclass(frozen=True)
+class BarrierProfile:
+    barrier_id: int
+    n_parties: int
+    n_episodes: int
+
+
+def lock_profiles(result: SimResult) -> list[LockProfile]:
+    """Per-lock contention statistics, most-waited-on lock first."""
+    profiles = [
+        LockProfile(
+            lock_id=lock.lock_id,
+            n_acquires=lock.n_acquires,
+            n_contended=lock.n_contended,
+            total_wait_cycles=lock.total_wait_cycles,
+            total_hold_cycles=lock.total_hold_cycles,
+            run_cycles=result.total_cycles,
+        )
+        for lock in result.sync.locks.values()
+    ]
+    profiles.sort(key=lambda p: p.total_wait_cycles, reverse=True)
+    return profiles
+
+
+def barrier_profiles(result: SimResult) -> list[BarrierProfile]:
+    return [
+        BarrierProfile(
+            barrier_id=barrier.barrier_id,
+            n_parties=barrier.n_parties,
+            n_episodes=barrier.n_episodes,
+        )
+        for barrier in result.sync.barriers.values()
+    ]
+
+
+def render_sync_profile(result: SimResult) -> str:
+    """Human-readable synchronization report of a run."""
+    lines = []
+    locks = lock_profiles(result)
+    if locks:
+        lines.append(
+            f"{'lock':>5s}{'acquires':>10s}{'contended':>11s}"
+            f"{'cont.%':>8s}{'util.%':>8s}{'avg wait':>10s}{'avg hold':>10s}"
+        )
+        for p in locks:
+            lines.append(
+                f"{p.lock_id:>5d}{p.n_acquires:>10d}{p.n_contended:>11d}"
+                f"{p.contention_rate * 100:>7.1f}%"
+                f"{p.utilization * 100:>7.1f}%"
+                f"{p.mean_wait_cycles:>10.0f}{p.mean_hold_cycles:>10.0f}"
+            )
+    else:
+        lines.append("(no locks)")
+    barriers = barrier_profiles(result)
+    if barriers:
+        lines.append("")
+        lines.append(f"{'barrier':>8s}{'parties':>9s}{'episodes':>10s}")
+        for b in barriers:
+            lines.append(
+                f"{b.barrier_id:>8d}{b.n_parties:>9d}{b.n_episodes:>10d}"
+            )
+    return "\n".join(lines)

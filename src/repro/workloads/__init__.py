@@ -1,0 +1,4 @@
+"""Workloads: the op-level program IR, synthetic benchmark synthesis,
+the 28-benchmark suite mirroring the paper's Figure 6, and the
+ferret-style pipeline program used for Figure 7.
+"""

@@ -1,0 +1,212 @@
+"""Threaded-program intermediate representation.
+
+A *program* is a set of per-thread instruction streams.  Streams are
+Python generators yielding lightweight micro-ops; the simulator executes
+them one at a time.  This plays the role the Alpha binaries play in the
+paper's gem5 setup: the simulator only ever sees dynamic instructions
+(compute slots, loads, stores) and synchronization API calls — exactly
+the surface the cycle-accounting hardware observes.
+
+Ops carry an integer ``TAG`` class attribute for fast dispatch in the
+engine's hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+# Op tags (engine dispatch).
+TAG_COMPUTE = 0
+TAG_LOAD = 1
+TAG_STORE = 2
+TAG_LOCK_ACQUIRE = 3
+TAG_LOCK_RELEASE = 4
+TAG_BARRIER_WAIT = 5
+TAG_YIELD_CPU = 6
+TAG_FUTEX_WAIT = 7
+TAG_FUTEX_WAKE = 8
+
+
+class Compute:
+    """``n`` dynamic non-memory instructions (dispatch-bound)."""
+
+    __slots__ = ("n",)
+    TAG = TAG_COMPUTE
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __repr__(self) -> str:
+        return f"Compute({self.n})"
+
+
+class Load:
+    """A data load.
+
+    ``overlappable`` marks the load as independent of its neighbours so
+    the out-of-order core may overlap its miss with other misses in the
+    ROB window (memory-level parallelism).  ``dependent`` marks a load
+    whose consumer immediately follows (e.g. a spin-loop test), so even
+    a cache hit stalls the pipeline for its full latency.
+    """
+
+    __slots__ = ("addr", "pc", "overlappable", "dependent")
+    TAG = TAG_LOAD
+
+    def __init__(
+        self,
+        addr: int,
+        pc: int = 0,
+        overlappable: bool = True,
+        dependent: bool = False,
+    ) -> None:
+        self.addr = addr
+        self.pc = pc
+        self.overlappable = overlappable
+        self.dependent = dependent
+
+    def __repr__(self) -> str:
+        return f"Load(0x{self.addr:x}, pc=0x{self.pc:x})"
+
+
+class Store:
+    """A data store (write-allocate, write-back)."""
+
+    __slots__ = ("addr", "pc")
+    TAG = TAG_STORE
+
+    def __init__(self, addr: int, pc: int = 0) -> None:
+        self.addr = addr
+        self.pc = pc
+
+    def __repr__(self) -> str:
+        return f"Store(0x{self.addr:x})"
+
+
+class LockAcquire:
+    """Acquire a mutex; contended acquires spin then yield."""
+
+    __slots__ = ("lock_id",)
+    TAG = TAG_LOCK_ACQUIRE
+
+    def __init__(self, lock_id: int) -> None:
+        self.lock_id = lock_id
+
+    def __repr__(self) -> str:
+        return f"LockAcquire({self.lock_id})"
+
+
+class LockRelease:
+    __slots__ = ("lock_id",)
+    TAG = TAG_LOCK_RELEASE
+
+    def __init__(self, lock_id: int) -> None:
+        self.lock_id = lock_id
+
+    def __repr__(self) -> str:
+        return f"LockRelease({self.lock_id})"
+
+
+class BarrierWait:
+    """Wait on a barrier shared by all threads of the program."""
+
+    __slots__ = ("barrier_id",)
+    TAG = TAG_BARRIER_WAIT
+
+    def __init__(self, barrier_id: int) -> None:
+        self.barrier_id = barrier_id
+
+    def __repr__(self) -> str:
+        return f"BarrierWait({self.barrier_id})"
+
+
+class YieldCpu:
+    """Voluntarily give up the core (sched_yield): the thread goes to
+    the back of its core's run queue and stays runnable."""
+
+    __slots__ = ()
+    TAG = TAG_YIELD_CPU
+
+    def __repr__(self) -> str:
+        return "YieldCpu()"
+
+
+class FutexWait:
+    """Block until another thread wakes this address (futex WAIT).
+
+    The caller must re-check its condition after waking: wakeups can be
+    spurious with respect to the condition, exactly like real futexes.
+    """
+
+    __slots__ = ("addr",)
+    TAG = TAG_FUTEX_WAIT
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"FutexWait(0x{self.addr:x})"
+
+
+class FutexWake:
+    """Wake one (or all) threads blocked on an address (futex WAKE)."""
+
+    __slots__ = ("addr", "wake_all")
+    TAG = TAG_FUTEX_WAKE
+
+    def __init__(self, addr: int, wake_all: bool = False) -> None:
+        self.addr = addr
+        self.wake_all = wake_all
+
+    def __repr__(self) -> str:
+        return f"FutexWake(0x{self.addr:x}, all={self.wake_all})"
+
+
+Op = (
+    Compute | Load | Store | LockAcquire | LockRelease | BarrierWait
+    | YieldCpu | FutexWait | FutexWake
+)
+ThreadBody = Iterator[Op]
+ThreadFactory = Callable[[int], ThreadBody]
+
+
+class Program:
+    """A multi-threaded program: one op stream per software thread.
+
+    ``warmup`` optionally lists, per thread, the addresses the thread's
+    working set occupies; the simulator streams them through the caches
+    untimed before measurement starts, so results reflect the steady
+    state of the parallel fraction (the paper measures after the
+    sequential initialization has run).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        thread_bodies: list[ThreadBody],
+        warmup: list[list[int]] | None = None,
+        lock_fifo_handoff: bool = False,
+        spin_threshold_override: int | None = None,
+    ) -> None:
+        if not thread_bodies:
+            raise ValueError("a program needs at least one thread")
+        if warmup is not None and len(warmup) != len(thread_bodies):
+            raise ValueError("warmup must have one address list per thread")
+        self.name = name
+        self.thread_bodies = thread_bodies
+        self.warmup = warmup
+        self.lock_fifo_handoff = lock_fifo_handoff
+        #: override of the sync library's spin budget (SPLASH-2-style
+        #: spinlocks spin much longer before yielding than pthreads)
+        self.spin_threshold_override = spin_threshold_override
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.thread_bodies)
+
+    @classmethod
+    def from_factory(
+        cls, name: str, n_threads: int, factory: ThreadFactory
+    ) -> "Program":
+        """Build a program by calling ``factory(thread_id)`` per thread."""
+        return cls(name, [factory(tid) for tid in range(n_threads)])

@@ -1,0 +1,174 @@
+"""Trace-file workloads: run programs from plain-text op traces.
+
+The op IR doubles as an interchange format: dump any program to a text
+trace, or analyze traces produced elsewhere (an instrumentation pass, a
+binary-translation tool, another simulator) by loading them as a
+:class:`~repro.workloads.program.Program`.  One op per line::
+
+    # threads: 2
+    T0 C 120            # compute 120 instructions
+    T0 L 0x10000        # load (overlappable by default)
+    T0 L 0x10040 dep    # dependent load (full-latency)
+    T0 L 0x10080 noov   # non-overlappable load
+    T0 S 0x20000        # store
+    T0 ACQ 0            # acquire lock 0
+    T0 REL 0            # release lock 0
+    T0 BAR 1            # wait on barrier 1
+    T0 YIELD            # sched_yield
+    T0 FWAIT 0x5000     # futex wait
+    T1 FWAKE 0x5000 all # futex wake (all waiters)
+
+Blank lines and ``#`` comments are ignored; thread interleaving in the
+file is irrelevant (each thread's ops execute in its own file order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    FutexWait,
+    FutexWake,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Op,
+    Program,
+    Store,
+    YieldCpu,
+)
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise ConfigError(f"line {line_no}: bad integer {token!r}") from None
+
+
+def _parse_op(tokens: list[str], line_no: int) -> Op:
+    kind = tokens[0].upper()
+    args = tokens[1:]
+    if kind == "C":
+        if len(args) != 1:
+            raise ConfigError(f"line {line_no}: C takes one count")
+        n = _parse_int(args[0], line_no)
+        if n <= 0:
+            raise ConfigError(f"line {line_no}: compute count must be > 0")
+        return Compute(n)
+    if kind == "L":
+        if not args:
+            raise ConfigError(f"line {line_no}: L needs an address")
+        addr = _parse_int(args[0], line_no)
+        flags = {flag.lower() for flag in args[1:]}
+        unknown = flags - {"dep", "noov"}
+        if unknown:
+            raise ConfigError(f"line {line_no}: unknown flags {unknown}")
+        return Load(
+            addr,
+            overlappable="noov" not in flags and "dep" not in flags,
+            dependent="dep" in flags,
+        )
+    if kind == "S":
+        if len(args) != 1:
+            raise ConfigError(f"line {line_no}: S takes one address")
+        return Store(_parse_int(args[0], line_no))
+    if kind == "ACQ":
+        return LockAcquire(_parse_int(args[0], line_no))
+    if kind == "REL":
+        return LockRelease(_parse_int(args[0], line_no))
+    if kind == "BAR":
+        return BarrierWait(_parse_int(args[0], line_no))
+    if kind == "YIELD":
+        return YieldCpu()
+    if kind == "FWAIT":
+        return FutexWait(_parse_int(args[0], line_no))
+    if kind == "FWAKE":
+        wake_all = len(args) > 1 and args[1].lower() == "all"
+        return FutexWake(_parse_int(args[0], line_no), wake_all=wake_all)
+    raise ConfigError(f"line {line_no}: unknown op {kind!r}")
+
+
+def parse_trace(text: str, name: str = "trace") -> Program:
+    """Parse a text trace into a runnable program."""
+    per_thread: dict[int, list[Op]] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0]
+        if not head.upper().startswith("T") or len(head) < 2:
+            raise ConfigError(
+                f"line {line_no}: expected 'T<tid> <op> ...', got {raw!r}"
+            )
+        tid = _parse_int(head[1:], line_no)
+        if tid < 0:
+            raise ConfigError(f"line {line_no}: negative thread id")
+        if len(tokens) < 2:
+            raise ConfigError(f"line {line_no}: missing op")
+        per_thread.setdefault(tid, []).append(_parse_op(tokens[1:], line_no))
+    if not per_thread:
+        raise ConfigError("trace contains no ops")
+    n_threads = max(per_thread) + 1
+    bodies = [iter(per_thread.get(tid, [])) for tid in range(n_threads)]
+    return Program(name, bodies)
+
+
+def load_trace(path: str, name: str | None = None) -> Program:
+    """Load a program from a trace file."""
+    with open(path) as handle:
+        text = handle.read()
+    return parse_trace(text, name=name or path)
+
+
+def _format_op(op: Op) -> str:
+    if isinstance(op, Compute):
+        return f"C {op.n}"
+    if isinstance(op, Load):
+        flags = ""
+        if op.dependent:
+            flags = " dep"
+        elif not op.overlappable:
+            flags = " noov"
+        return f"L 0x{op.addr:x}{flags}"
+    if isinstance(op, Store):
+        return f"S 0x{op.addr:x}"
+    if isinstance(op, LockAcquire):
+        return f"ACQ {op.lock_id}"
+    if isinstance(op, LockRelease):
+        return f"REL {op.lock_id}"
+    if isinstance(op, BarrierWait):
+        return f"BAR {op.barrier_id}"
+    if isinstance(op, YieldCpu):
+        return "YIELD"
+    if isinstance(op, FutexWait):
+        return f"FWAIT 0x{op.addr:x}"
+    if isinstance(op, FutexWake):
+        suffix = " all" if op.wake_all else ""
+        return f"FWAKE 0x{op.addr:x}{suffix}"
+    raise ConfigError(f"cannot serialize op {op!r}")
+
+
+def dump_trace(ops_per_thread: Iterable[Iterable[Op]]) -> str:
+    """Serialize per-thread op lists to trace text.
+
+    Note this *materializes* the streams — dump a bounded program, not
+    an infinite generator.
+    """
+    lines = []
+    n_threads = 0
+    for tid, ops in enumerate(ops_per_thread):
+        n_threads += 1
+        for op in ops:
+            lines.append(f"T{tid} {_format_op(op)}")
+    header = f"# threads: {n_threads}"
+    return "\n".join([header] + lines) + "\n"
+
+
+def dump_program(program: Program) -> str:
+    """Serialize a program (consumes its generators)."""
+    return dump_trace(list(body) for body in program.thread_bodies)

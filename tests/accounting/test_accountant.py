@@ -1,0 +1,186 @@
+"""The cycle accountant: component bookkeeping and report derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting.accountant import CycleAccountant
+from repro.accounting.interface import INTER_THREAD_MISS, NULL_ACCOUNTANT
+from repro.config import AccountingConfig, MachineConfig
+from repro.errors import SimulationError
+from repro.sim.engine import Simulation, simulate
+from repro.sim.memory import DramAccessResult, PAGE_HIT
+
+from tests.conftest import lock_step_program
+
+
+def dram(bus_other=0, bank_other=0, extra=0) -> DramAccessResult:
+    return DramAccessResult(
+        latency=150, bank_index=0, page_id=1, page_outcome=PAGE_HIT,
+        prev_open_page=None, prev_opener=None,
+        bus_wait_other=bus_other, bank_wait_other=bank_other,
+        page_extra_cycles=extra,
+    )
+
+
+@pytest.fixture
+def accountant(machine4) -> CycleAccountant:
+    return CycleAccountant(machine4)
+
+
+class TestMissAccounting:
+    def test_memory_interference_capped_by_blocked(self, accountant):
+        accountant.on_miss_blocked(
+            0, blocked_cycles=50, classification=None,
+            dram_result=dram(bus_other=40, bank_other=40),
+            is_load=True,
+        )
+        assert accountant.neg_mem_stall[0] == 50
+
+    def test_inter_thread_miss_split(self, accountant):
+        """The stall splits: memory-interference part + cache part."""
+        accountant.on_miss_blocked(
+            0, blocked_cycles=100, classification=INTER_THREAD_MISS,
+            dram_result=dram(bus_other=30), is_load=True,
+        )
+        assert accountant.neg_mem_stall[0] == 30
+        assert accountant.neg_llc_sampled_stall[0] == 70
+
+    def test_ora_conflict_adds_page_penalty(self, accountant):
+        accountant.on_miss_blocked(
+            0, blocked_cycles=500, classification=None,
+            dram_result=dram(extra=120), is_load=True, ora_conflict=True,
+        )
+        assert accountant.neg_mem_stall[0] == 120
+
+    def test_load_stall_feeds_avg_penalty(self, accountant):
+        accountant.on_miss_blocked(0, 80, None, dram(), is_load=True)
+        accountant.on_miss_blocked(0, 40, None, dram(), is_load=False)
+        assert accountant.llc_load_miss_blocked_stall[0] == 80
+
+
+class TestInterpolation:
+    def test_positive_interference_uses_avg_penalty(self, machine4):
+        accountant = CycleAccountant(machine4)
+        # 2 load misses, 200 blocked cycles total -> avg penalty 100
+        accountant.classify_llc_access(0, 0x10, 0, shared_hit=False, is_load=True)
+        accountant.classify_llc_access(0, 0x20, 0, shared_hit=False, is_load=True)
+        accountant.on_miss_blocked(0, 120, None, dram(), True)
+        accountant.on_miss_blocked(0, 80, None, dram(), True)
+        raw = accountant.raw_counters(0)
+        assert raw.avg_miss_penalty == 100.0
+
+    def test_sampling_factor_in_report(self, machine4):
+        config = AccountingConfig(atd_sample_period=2)
+        machine = MachineConfig(
+            n_cores=4, accounting=config,
+        )
+        accountant = CycleAccountant(machine)
+        n_sets = machine.llc.n_sets
+        # 4 accesses, 2 in sampled sets
+        for set_index in (0, 1, 2, 3):
+            accountant.classify_llc_access(
+                0, set_index, set_index, shared_hit=False, is_load=True
+            )
+        raw = accountant.raw_counters(0)
+        assert raw.sampling_factor == 2.0
+
+
+class TestSpinAndYield:
+    def test_spin_truncated_adds(self, accountant):
+        accountant.on_spin_truncated(1, 300)
+        accountant.on_spin_truncated(1, 200)
+        assert accountant.spin_cycles_of(1) == 500
+
+    def test_yield_intervals_accumulate(self, accountant):
+        accountant.on_yield_interval(2, 100, 400)
+        accountant.on_yield_interval(2, 1000, 1600)
+        assert accountant.yield_cycles[2] == 900
+
+    def test_context_switch_flushes_detectors(self, accountant):
+        accountant.on_retired_load(0, 0x1010, 0x7000, 5, -1, 100)
+        assert accountant.tian[0].occupancy == 1
+        accountant.on_context_switch(0)
+        assert accountant.tian[0].occupancy == 0
+
+    def test_li_detector_selected_by_config(self, machine4):
+        from dataclasses import replace
+
+        machine = replace(
+            machine4,
+            accounting=AccountingConfig(spin_detector="li"),
+        )
+        accountant = CycleAccountant(machine)
+        accountant.on_backward_branch(0, 0x1018, 5, 100)
+        accountant.on_backward_branch(0, 0x1018, 5, 140)
+        assert accountant.spin_cycles_of(0) == 40
+        # tian hook inert in li mode
+        accountant.on_retired_load(0, 0x1010, 0x7000, 5, -1, 100)
+        assert accountant.tian[0].occupancy == 0
+
+
+class TestCoherencyExtension:
+    def test_disabled_by_default(self, accountant):
+        accountant.on_coherency_miss(0, 30)
+        assert accountant.coherency_stall[0] == 0
+
+    def test_enabled_accounts(self, machine4):
+        from dataclasses import replace
+
+        machine = replace(
+            machine4, accounting=AccountingConfig(account_coherency=True),
+        )
+        accountant = CycleAccountant(machine)
+        accountant.on_coherency_miss(0, 30)
+        assert accountant.coherency_stall[0] == 30
+
+
+class TestReport:
+    def test_report_from_real_run(self, machine4):
+        accountant = CycleAccountant(machine4)
+        result = Simulation(machine4, lock_step_program(4), accountant).run()
+        report = accountant.report(result)
+        assert report.n_threads == 4
+        assert report.tp_cycles == result.total_cycles
+        assert len(report.threads) == 4
+        assert len(report.cores) == 4
+        # yield measured by the accountant matches the engine's oracle
+        for thread in result.threads:
+            measured = report.threads[thread.tid].yielding
+            assert measured == pytest.approx(thread.gt_yield_cycles)
+
+    def test_report_rejects_oversubscription(self, machine4):
+        from tests.conftest import compute_only_program
+
+        accountant = CycleAccountant(machine4)
+        result = Simulation(
+            machine4, compute_only_program(8, 2000), accountant
+        ).run()
+        with pytest.raises(SimulationError):
+            accountant.report(result)
+
+    def test_overhead_clamped_to_tp(self, machine4):
+        accountant = CycleAccountant(machine4)
+        result = Simulation(machine4, lock_step_program(4), accountant).run()
+        # poison one core with absurd interference before reporting
+        accountant.neg_mem_stall[0] = 100 * result.total_cycles
+        report = accountant.report(result)
+        assert report.threads[0].total_overhead <= report.tp_cycles * 1.0001
+
+    def test_estimated_speedup_bounded(self, machine4):
+        accountant = CycleAccountant(machine4)
+        result = Simulation(machine4, lock_step_program(4), accountant).run()
+        report = accountant.report(result)
+        assert 0 <= report.estimated_speedup <= 4.5
+
+
+class TestNullAccountant:
+    def test_hooks_are_noops(self):
+        NULL_ACCOUNTANT.on_miss_blocked(0, 10, None, dram(), True)
+        NULL_ACCOUNTANT.on_retired_load(0, 0, 0, 0, 0, 0)
+        NULL_ACCOUNTANT.on_spin_truncated(0, 5)
+        NULL_ACCOUNTANT.on_context_switch(0)
+        NULL_ACCOUNTANT.warm_llc_access(0, 0, 0)
+        assert NULL_ACCOUNTANT.classify_llc_access(0, 0, 0, True, True) is None
+        assert NULL_ACCOUNTANT.note_dram_access(0, dram()) is False
+        assert not NULL_ACCOUNTANT.enabled

@@ -1,0 +1,117 @@
+"""Auxiliary tag directory: inter-thread hit/miss classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting.atd import AuxiliaryTagDirectory
+from repro.accounting.interface import INTER_THREAD_HIT, INTER_THREAD_MISS
+from repro.config import KB, CacheConfig
+
+LLC = CacheConfig(size_bytes=64 * KB, assoc=4, hit_latency=30,
+                  hidden_latency=30)  # 256 sets
+
+
+def make_atd(sample_period=1) -> AuxiliaryTagDirectory:
+    return AuxiliaryTagDirectory(LLC, sample_period)
+
+
+class TestClassification:
+    def test_cold_miss_not_classified(self):
+        """Miss in both the shared LLC and the ATD: a plain miss."""
+        atd = make_atd()
+        assert atd.observe(0x10, 0x10 % 256, shared_hit=False, is_load=True) is None
+
+    def test_inter_thread_miss(self):
+        """ATD hit (this core's private LLC would have kept the line)
+        but shared miss (another thread evicted it)."""
+        atd = make_atd()
+        atd.observe(0x10, 0x10 % 256, shared_hit=False, is_load=True)  # fill
+        result = atd.observe(0x10, 0x10 % 256, shared_hit=False, is_load=True)
+        assert result == INTER_THREAD_MISS
+        assert atd.n_inter_thread_misses == 1
+
+    def test_inter_thread_hit(self):
+        """Shared hit although this core never touched the line: another
+        thread prefetched it (positive interference)."""
+        atd = make_atd()
+        result = atd.observe(0x20, 0x20 % 256, shared_hit=True, is_load=True)
+        assert result == INTER_THREAD_HIT
+        assert atd.n_inter_thread_hits == 1
+        assert atd.n_sampled_load_inter_hits == 1
+
+    def test_store_inter_hit_not_counted_for_interpolation(self):
+        atd = make_atd()
+        atd.observe(0x20, 0x20 % 256, shared_hit=True, is_load=False)
+        assert atd.n_inter_thread_hits == 1
+        assert atd.n_sampled_load_inter_hits == 0
+
+    def test_agreeing_hit_unclassified(self):
+        atd = make_atd()
+        atd.observe(0x30, 0x30 % 256, shared_hit=False, is_load=True)
+        assert atd.observe(0x30, 0x30 % 256, shared_hit=True, is_load=True) is None
+
+
+class TestSampling:
+    def test_only_sampled_sets_observed(self):
+        atd = make_atd(sample_period=8)  # samples sets 4, 12, 20, ...
+        assert atd.observe(0x100, 9, shared_hit=True, is_load=True) is None
+        assert atd.n_sampled_accesses == 0
+        assert atd.observe(0x200, 12, shared_hit=True, is_load=True) is not None
+        assert atd.n_sampled_accesses == 1
+
+    def test_is_sampled(self):
+        atd = make_atd(sample_period=4)  # offset 2
+        assert atd.is_sampled(2)
+        assert atd.is_sampled(6)
+        assert not atd.is_sampled(0)
+        assert not atd.is_sampled(3)
+
+    def test_sampling_avoids_aligned_hot_sets(self):
+        """Set 0 collects region-base lines (locks, headers); it must
+        not be monitored for any real sampling period."""
+        for period in (2, 8, 64):
+            assert not make_atd(period).is_sampled(0)
+
+    def test_sampling_factor(self):
+        atd = make_atd(sample_period=2)  # samples odd sets
+        for k in range(10):
+            atd.observe(k * 256 + 1, 1, shared_hit=False, is_load=True)
+        assert atd.sampling_factor(total_accesses=40) == 4.0
+
+    def test_sampling_factor_zero_when_unused(self):
+        assert make_atd().sampling_factor(100) == 0.0
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            AuxiliaryTagDirectory(LLC, 0)
+
+
+class TestPrivateLlcModel:
+    def test_capacity_eviction_in_atd(self):
+        """The ATD models a private LLC of the same geometry: filling a
+        set beyond its associativity evicts the LRU line, so a re-access
+        of the evicted line is NOT an inter-thread miss (it would have
+        missed privately too)."""
+        atd = make_atd()
+        set_index = 5
+        lines = [set_index + k * 256 for k in range(5)]  # assoc is 4
+        for line in lines:
+            atd.observe(line, set_index, shared_hit=False, is_load=True)
+        # lines[0] was evicted from the private model
+        result = atd.observe(lines[0], set_index, shared_hit=False, is_load=True)
+        assert result is None
+
+    def test_warm_prefills_without_counting(self):
+        atd = make_atd()
+        atd.warm(0x40, 0x40 % 256)
+        assert atd.n_sampled_accesses == 0
+        result = atd.observe(0x40, 0x40 % 256, shared_hit=False, is_load=True)
+        assert result == INTER_THREAD_MISS
+
+    def test_warm_ignores_unsampled_sets(self):
+        atd = make_atd(sample_period=8)
+        atd.warm(0x100 + 3, 3)
+        assert atd.tag_store.occupancy() == 0
+        atd.warm(0x100 + 4, 4)
+        assert atd.tag_store.occupancy() == 1

@@ -1,0 +1,64 @@
+"""Hardware cost model: the Section 4.7 numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting.hardware_cost import (
+    PAPER_INTERFERENCE_BYTES_PER_CORE,
+    PAPER_SPIN_TABLE_BYTES_PER_CORE,
+    PAPER_TOTAL_KB_16_CORES,
+    HardwareCostParams,
+    estimate_cost,
+)
+from repro.config import MB, CacheConfig, MachineConfig
+
+
+class TestPaperNumbers:
+    def test_interference_cost_is_952_bytes(self):
+        cost = estimate_cost(MachineConfig(n_cores=16))
+        assert cost.interference_bytes_per_core == PAPER_INTERFERENCE_BYTES_PER_CORE
+
+    def test_spin_table_cost_is_217_bytes(self):
+        cost = estimate_cost(MachineConfig(n_cores=16))
+        assert cost.spin_table_bytes == PAPER_SPIN_TABLE_BYTES_PER_CORE
+
+    def test_per_core_cost_about_1_1_kb(self):
+        cost = estimate_cost(MachineConfig(n_cores=16))
+        assert cost.per_core_kb == pytest.approx(1.1, abs=0.1)
+
+    def test_total_cost_about_18_kb(self):
+        cost = estimate_cost(MachineConfig(n_cores=16))
+        assert cost.total_kb == pytest.approx(PAPER_TOTAL_KB_16_CORES, abs=0.5)
+
+
+class TestScaling:
+    def test_cost_scales_with_cores(self):
+        c4 = estimate_cost(MachineConfig(n_cores=4))
+        c16 = estimate_cost(MachineConfig(n_cores=16))
+        assert c16.total_bytes == 4 * c4.total_bytes
+        assert c16.per_core_bytes == c4.per_core_bytes
+
+    def test_cost_scales_with_associativity(self):
+        base = MachineConfig(n_cores=16)
+        wide = MachineConfig(
+            n_cores=16,
+            llc=CacheConfig(size_bytes=2 * MB, assoc=32, hit_latency=30,
+                            hidden_latency=30),
+        )
+        assert estimate_cost(wide).atd_bytes == 2 * estimate_cost(base).atd_bytes
+
+    def test_custom_params(self):
+        params = HardwareCostParams(atd_sampled_sets=64)
+        cost = estimate_cost(MachineConfig(n_cores=16), params)
+        default = estimate_cost(MachineConfig(n_cores=16))
+        assert cost.atd_bytes == 2 * default.atd_bytes
+
+    def test_spin_entry_is_217_bits(self):
+        params = HardwareCostParams()
+        bits = (
+            params.spin_pc_bits + params.spin_addr_bits
+            + params.spin_data_bits + params.spin_mark_bits
+            + params.spin_timestamp_bits
+        )
+        assert bits == 217

@@ -1,0 +1,63 @@
+"""Open row array: page-conflict attribution (Section 4.1)."""
+
+from __future__ import annotations
+
+from repro.accounting.ora import OpenRowArray
+from repro.sim.memory import DramAccessResult, PAGE_CONFLICT, PAGE_EMPTY, PAGE_HIT
+
+
+def access(bank: int, page: int, outcome: str, extra: int = 120) -> DramAccessResult:
+    return DramAccessResult(
+        latency=100,
+        bank_index=bank,
+        page_id=page,
+        page_outcome=outcome,
+        prev_open_page=None,
+        prev_opener=None,
+        bus_wait_other=0,
+        bank_wait_other=0,
+        page_extra_cycles=0 if outcome == PAGE_HIT else extra,
+    )
+
+
+class TestOra:
+    def test_page_hit_never_conflict(self):
+        ora = OpenRowArray(8)
+        assert not ora.observe(access(0, 10, PAGE_HIT))
+
+    def test_first_touch_not_attributed(self):
+        """This core never opened the page: self-inflicted (cold) miss."""
+        ora = OpenRowArray(8)
+        assert not ora.observe(access(0, 10, PAGE_EMPTY))
+        assert not ora.observe(access(0, 11, PAGE_CONFLICT))
+
+    def test_conflict_on_own_recent_page_attributed(self):
+        """The core opened page 10 most recently (per its ORA), yet the
+        access conflicts: another core must have closed it."""
+        ora = OpenRowArray(8)
+        ora.observe(access(0, 10, PAGE_EMPTY))
+        assert ora.observe(access(0, 10, PAGE_CONFLICT))
+        assert ora.n_conflicts_from_others == 1
+
+    def test_own_page_switch_not_attributed(self):
+        """The core itself moved to another page: self-inflicted."""
+        ora = OpenRowArray(8)
+        ora.observe(access(0, 10, PAGE_EMPTY))
+        assert not ora.observe(access(0, 11, PAGE_CONFLICT))
+
+    def test_ora_updates_on_every_access(self):
+        ora = OpenRowArray(8)
+        ora.observe(access(0, 10, PAGE_EMPTY))
+        ora.observe(access(0, 11, PAGE_CONFLICT))  # own switch, row now 11
+        assert ora.row_for_bank(0) == 11
+        assert ora.observe(access(0, 11, PAGE_CONFLICT))
+
+    def test_banks_independent(self):
+        ora = OpenRowArray(8)
+        ora.observe(access(0, 10, PAGE_EMPTY))
+        ora.observe(access(1, 99, PAGE_EMPTY))
+        assert ora.row_for_bank(0) == 10
+        assert ora.row_for_bank(1) == 99
+        # conflict in bank 1 on its own page is attributed there only
+        assert ora.observe(access(1, 99, PAGE_CONFLICT))
+        assert not ora.observe(access(0, 12, PAGE_CONFLICT))

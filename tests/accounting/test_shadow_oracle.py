@@ -1,0 +1,82 @@
+"""Shadow-oracle ATD: in-run verification of set-sampling accuracy."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.accounting.accountant import CycleAccountant
+from repro.config import AccountingConfig, MachineConfig
+from repro.sim.engine import Simulation
+from repro.workloads.spec import build_program
+from repro.workloads.suite import by_name
+
+SCALE = 0.4
+
+
+@pytest.fixture(scope="module")
+def accountant():
+    machine = replace(
+        MachineConfig(n_cores=8),
+        accounting=AccountingConfig(atd_shadow_oracle=True),
+    )
+    acct = CycleAccountant(machine)
+    program = build_program(by_name("facesim_small"), 8, scale=SCALE)
+    Simulation(machine, program, acct).run()
+    return acct
+
+
+class TestShadowOracle:
+    def test_disabled_by_default(self, machine4):
+        acct = CycleAccountant(machine4)
+        assert acct.oracle_atds is None
+        assert acct.raw_counters(0).oracle_inter_thread_misses == -1
+
+    def test_oracle_counts_present(self, accountant):
+        for core in range(8):
+            raw = accountant.raw_counters(core)
+            assert raw.oracle_inter_thread_misses >= 0
+            assert raw.oracle_inter_thread_hits >= 0
+
+    def test_oracle_never_below_sampled(self, accountant):
+        """The full-tag oracle sees a superset of the sampled events."""
+        for core in range(8):
+            raw = accountant.raw_counters(core)
+            assert (
+                raw.oracle_inter_thread_misses
+                >= raw.sampled_inter_thread_misses
+            )
+
+    def test_extrapolation_tracks_oracle_in_aggregate(self, accountant):
+        """Across all cores, sampled-count extrapolation lands within a
+        factor ~2 of the oracle (the accuracy class set sampling buys)."""
+        extrapolated = sum(
+            accountant.raw_counters(c).extrapolated_inter_thread_misses
+            for c in range(8)
+        )
+        oracle = sum(
+            accountant.raw_counters(c).oracle_inter_thread_misses
+            for c in range(8)
+        )
+        assert oracle > 0
+        assert 0.5 * oracle <= extrapolated <= 2.0 * oracle
+
+    def test_oracle_does_not_change_components(self):
+        """The shadow oracle is observation-only: the reported stack is
+        identical with and without it."""
+        results = {}
+        for enabled in (False, True):
+            machine = replace(
+                MachineConfig(n_cores=4),
+                accounting=AccountingConfig(atd_shadow_oracle=enabled),
+            )
+            acct = CycleAccountant(machine)
+            program = build_program(by_name("dedup_small"), 4, scale=0.1)
+            result = Simulation(machine, program, acct).run()
+            results[enabled] = acct.report(result)
+        off, on = results[False], results[True]
+        assert off.tp_cycles == on.tp_cycles
+        for a, b in zip(off.threads, on.threads):
+            assert a.negative_llc == b.negative_llc
+            assert a.positive_llc == b.positive_llc

@@ -1,0 +1,68 @@
+"""Li et al. backward-branch spin detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting.spin_li import LiSpinDetector
+
+PC = 0x1018
+
+
+class TestDetection:
+    def test_unchanged_state_credits_time(self):
+        detector = LiSpinDetector()
+        detector.on_backward_branch(PC, state_signature=5, now=100)
+        detector.on_backward_branch(PC, state_signature=5, now=110)
+        assert detector.spin_cycles == 10
+        assert detector.n_detections == 1
+
+    def test_incremental_credit_no_double_count(self):
+        detector = LiSpinDetector()
+        for now in (100, 110, 120, 130):
+            detector.on_backward_branch(PC, 5, now)
+        assert detector.spin_cycles == 30
+
+    def test_state_change_resets(self):
+        detector = LiSpinDetector()
+        detector.on_backward_branch(PC, 5, 100)
+        detector.on_backward_branch(PC, 6, 110)  # state changed: working
+        assert detector.spin_cycles == 0
+        detector.on_backward_branch(PC, 6, 120)
+        assert detector.spin_cycles == 10
+
+    def test_different_branches_independent(self):
+        detector = LiSpinDetector()
+        detector.on_backward_branch(0x10, 1, 100)
+        detector.on_backward_branch(0x20, 1, 104)
+        detector.on_backward_branch(0x10, 1, 108)
+        assert detector.spin_cycles == 8
+
+    def test_flush(self):
+        detector = LiSpinDetector()
+        detector.on_backward_branch(PC, 5, 100)
+        detector.flush()
+        detector.on_backward_branch(PC, 5, 200)
+        assert detector.spin_cycles == 0
+        assert detector.occupancy == 1
+
+
+class TestTable:
+    def test_capacity(self):
+        detector = LiSpinDetector(n_entries=2)
+        for k in range(5):
+            detector.on_backward_branch(0x10 + k * 8, 1, k)
+        assert detector.occupancy == 2
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            LiSpinDetector(n_entries=0)
+
+
+class TestProgressingLoop:
+    def test_loop_with_changing_state_never_detected(self):
+        """A loop doing real work changes state every iteration."""
+        detector = LiSpinDetector()
+        for k in range(50):
+            detector.on_backward_branch(PC, state_signature=k, now=k * 10)
+        assert detector.spin_cycles == 0

@@ -1,0 +1,109 @@
+"""Tian et al. load-watch spin detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting.spin_tian import TianSpinDetector
+
+PC = 0x1010
+ADDR = 0x7000_0000
+
+
+def spin_episode(detector, start, iters, value, period=4):
+    """Feed a spin loop: repeated identical loads of (ADDR, value)."""
+    for k in range(iters):
+        detector.on_load(PC, ADDR, value, writer_core=-1, now=start + k * period,
+                         self_core=0)
+    return start + iters * period
+
+
+class TestDetection:
+    def test_basic_episode_credited(self):
+        detector = TianSpinDetector(threshold=2)
+        end = spin_episode(detector, start=100, iters=10, value=5)
+        # another core writes a new value; the next load observes it
+        detector.on_load(PC, ADDR, 6, writer_core=1, now=end, self_core=0)
+        assert detector.spin_cycles == end - 100
+        assert detector.n_episodes == 1
+
+    def test_below_threshold_not_marked(self):
+        detector = TianSpinDetector(threshold=4)
+        detector.on_load(PC, ADDR, 5, -1, 100, 0)
+        detector.on_load(PC, ADDR, 5, -1, 104, 0)  # count 2 < 4
+        detector.on_load(PC, ADDR, 6, 1, 108, 0)
+        assert detector.spin_cycles == 0
+
+    def test_own_write_not_spinning(self):
+        """Value changed by the same core: not a synchronization wait."""
+        detector = TianSpinDetector(threshold=2)
+        end = spin_episode(detector, 100, 10, value=5)
+        detector.on_load(PC, ADDR, 6, writer_core=0, now=end, self_core=0)
+        assert detector.spin_cycles == 0
+
+    def test_unwritten_value_not_spinning(self):
+        detector = TianSpinDetector(threshold=2)
+        end = spin_episode(detector, 100, 10, value=-1)
+        detector.on_load(PC, ADDR, 7, writer_core=-1, now=end, self_core=0)
+        assert detector.spin_cycles == 0
+
+    def test_different_address_resets(self):
+        """A load of a different address is not the spin variable."""
+        detector = TianSpinDetector(threshold=2)
+        end = spin_episode(detector, 100, 10, value=5)
+        detector.on_load(PC, ADDR + 64, 9, writer_core=1, now=end, self_core=0)
+        assert detector.spin_cycles == 0
+
+    def test_consecutive_episodes_accumulate(self):
+        detector = TianSpinDetector(threshold=2)
+        end1 = spin_episode(detector, 100, 5, value=5)
+        detector.on_load(PC, ADDR, 6, 1, end1, 0)  # credit episode 1
+        end2 = spin_episode(detector, end1 + 4, 5, value=6)
+        # value 6 already observed at end1: entry continued from there
+        detector.on_load(PC, ADDR, 7, 1, end2, 0)
+        assert detector.n_episodes == 2
+        assert detector.spin_cycles == (end1 - 100) + (end2 - end1)
+
+
+class TestTable:
+    def test_capacity_evicts_lru_pc(self):
+        detector = TianSpinDetector(n_entries=2, threshold=2)
+        detector.on_load(0x10, ADDR, 1, -1, 0, 0)
+        detector.on_load(0x20, ADDR, 1, -1, 4, 0)
+        detector.on_load(0x30, ADDR, 1, -1, 8, 0)  # evicts 0x10
+        assert detector.occupancy == 2
+        # 0x10 re-inserted fresh: no history
+        detector.on_load(0x10, ADDR, 2, 1, 12, 0)
+        assert detector.spin_cycles == 0
+
+    def test_flush_on_context_switch(self):
+        detector = TianSpinDetector(threshold=2)
+        end = spin_episode(detector, 100, 10, value=5)
+        detector.flush()
+        detector.on_load(PC, ADDR, 6, 1, end, 0)
+        assert detector.spin_cycles == 0
+        assert detector.occupancy == 1
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            TianSpinDetector(n_entries=0)
+        with pytest.raises(ValueError):
+            TianSpinDetector(threshold=1)
+
+
+class TestNonSpinTraffic:
+    def test_streaming_loads_not_detected(self):
+        """A streaming loop (different address every load) never marks."""
+        detector = TianSpinDetector(threshold=2)
+        for k in range(100):
+            detector.on_load(PC, ADDR + k * 64, k, writer_core=1,
+                             now=k * 4, self_core=0)
+        assert detector.spin_cycles == 0
+
+    def test_changing_values_not_detected(self):
+        """A consumer reading a queue sees fresh values: not spinning."""
+        detector = TianSpinDetector(threshold=2)
+        for k in range(100):
+            detector.on_load(PC, ADDR, k, writer_core=1, now=k * 4,
+                             self_core=0)
+        assert detector.spin_cycles == 0

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Machines and workloads are kept tiny so the whole suite runs in well
+under a minute; the full-size experiments live under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KB, MB, CacheConfig, MachineConfig
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Program,
+    Store,
+)
+from repro.workloads.spec import BenchmarkSpec
+
+
+@pytest.fixture
+def machine4() -> MachineConfig:
+    """A small 4-core machine (full default hierarchy)."""
+    return MachineConfig(n_cores=4)
+
+
+@pytest.fixture
+def machine1() -> MachineConfig:
+    return MachineConfig(n_cores=1)
+
+
+@pytest.fixture
+def tiny_llc_machine() -> MachineConfig:
+    """4 cores with a tiny LLC so capacity effects appear quickly."""
+    return MachineConfig(
+        n_cores=4,
+        llc=CacheConfig(size_bytes=64 * KB, assoc=8, hit_latency=30,
+                        hidden_latency=30),
+    )
+
+
+@pytest.fixture
+def tiny_spec() -> BenchmarkSpec:
+    """A miniature benchmark spec for fast end-to-end runs."""
+    return BenchmarkSpec(
+        name="tiny",
+        total_kinstrs=60,
+        mem_per_kinstr=80,
+        private_ws_kb=16,
+        n_locks=1,
+        cs_per_kinstr=0.3,
+        cs_len_instrs=200,
+        par_overhead=0.0,
+    )
+
+
+def compute_only_program(n_threads: int, instrs_per_thread: int = 4000) -> Program:
+    """All-compute program: every thread does the same work."""
+    def body():
+        for __ in range(instrs_per_thread // 100):
+            yield Compute(100)
+
+    return Program("compute-only", [body() for __ in range(n_threads)])
+
+
+def lock_step_program(n_threads: int, iters: int = 30) -> Program:
+    """Threads alternate compute with a short shared critical section."""
+    def body(tid: int):
+        for i in range(iters):
+            yield Compute(100)
+            yield Load(0x100_0000 + (tid << 20) + (i % 32) * 64)
+            yield LockAcquire(0)
+            yield Compute(80)
+            yield Store(0x9000_0000)
+            yield LockRelease(0)
+        yield BarrierWait(0)
+
+    return Program("lock-step", [body(t) for t in range(n_threads)])

@@ -1,0 +1,67 @@
+"""LLC interference analysis (Figures 8 and 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MB
+from repro.core.analysis import (
+    LlcInterference,
+    LlcSizeSweepPoint,
+    expect_monotone_negative,
+    llc_interference,
+)
+from repro.core.stack import SpeedupStack
+
+
+def stack(neg: float, pos: float) -> SpeedupStack:
+    return SpeedupStack(
+        name="s", n_threads=16, tp_cycles=1000,
+        negative_llc=neg, negative_memory=0, positive_llc=pos,
+        spinning=0, yielding=0, imbalance=0,
+    )
+
+
+class TestBreakdown:
+    def test_net(self):
+        b = LlcInterference("x", negative=1.4, positive=1.0)
+        assert b.net == pytest.approx(0.4)
+
+    def test_net_can_be_negative(self):
+        """Net < 0: cache sharing is a net win (Figure 9, 16MB point)."""
+        b = LlcInterference("x", negative=0.3, positive=1.0)
+        assert b.net < 0
+
+    def test_from_stack(self):
+        b = llc_interference(stack(neg=2.0, pos=0.5))
+        assert b.negative == 2.0
+        assert b.positive == 0.5
+        assert b.name == "s"
+
+    def test_name_override(self):
+        assert llc_interference(stack(1, 0), name="y").name == "y"
+
+
+class TestSweep:
+    def _points(self, negatives, positive=1.0):
+        return [
+            LlcSizeSweepPoint(
+                llc_bytes=(2 ** k) * MB,
+                interference=LlcInterference(f"{2**k}MB", neg, positive),
+            )
+            for k, neg in enumerate(negatives, start=1)
+        ]
+
+    def test_monotone_check_accepts_decreasing(self):
+        assert expect_monotone_negative(self._points([2.0, 1.2, 0.6, 0.3]))
+
+    def test_monotone_check_rejects_increase(self):
+        assert not expect_monotone_negative(self._points([1.0, 2.0, 0.5, 0.2]))
+
+    def test_order_independent(self):
+        points = self._points([2.0, 1.0, 0.5, 0.2])
+        assert expect_monotone_negative(list(reversed(points)))
+
+    def test_llc_mb(self):
+        point = self._points([1.0])[0]
+        assert point.llc_mb == pytest.approx(2.0)

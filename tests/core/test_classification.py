@@ -1,0 +1,93 @@
+"""Figure 6 classification: scaling classes and the tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import (
+    ClassificationTree,
+    ClassifiedBenchmark,
+    classify_stack,
+    scaling_class,
+)
+from repro.core.stack import SpeedupStack
+
+
+def stack(name="b", yielding=0.0, spinning=0.0, neg_llc=0.0, mem=0.0,
+          positive=0.0, imbalance=0.0, actual=None) -> SpeedupStack:
+    return SpeedupStack(
+        name=name, n_threads=16, tp_cycles=1000,
+        negative_llc=neg_llc, negative_memory=mem, positive_llc=positive,
+        spinning=spinning, yielding=yielding, imbalance=imbalance,
+        actual_speedup=actual,
+    )
+
+
+class TestScalingClass:
+    def test_paper_thresholds(self):
+        assert scaling_class(10.0) == "good"
+        assert scaling_class(15.9) == "good"
+        assert scaling_class(9.99) == "moderate"
+        assert scaling_class(5.0) == "moderate"
+        assert scaling_class(4.99) == "poor"
+        assert scaling_class(1.0) == "poor"
+
+
+class TestClassifyStack:
+    def test_ranked_labels(self):
+        leaf = classify_stack(
+            stack(yielding=4.0, mem=2.0, neg_llc=1.0, actual=5.5),
+            suite="parsec",
+        )
+        assert leaf.scaling == "moderate"
+        assert leaf.top_components == ("yielding", "memory", "cache")
+        assert leaf.suite == "parsec"
+
+    def test_insignificant_components_dropped(self):
+        leaf = classify_stack(stack(yielding=4.0, mem=0.1, actual=5.5))
+        assert leaf.top_components == ("yielding",)
+
+    def test_perfect_scaler_has_no_components(self):
+        leaf = classify_stack(stack(actual=15.8))
+        assert leaf.scaling == "good"
+        assert leaf.top_components == ()
+
+    def test_imbalance_excluded_from_tree(self):
+        leaf = classify_stack(stack(imbalance=5.0, yielding=1.0, actual=8.0))
+        assert "imbalance" not in leaf.top_components
+
+    def test_falls_back_to_estimate_without_reference(self):
+        leaf = classify_stack(stack(yielding=12.0))
+        assert leaf.speedup == pytest.approx(4.0)
+        assert leaf.scaling == "poor"
+
+    def test_path_padded(self):
+        leaf = classify_stack(stack(yielding=4.0, actual=6.0))
+        assert leaf.path == ("moderate", "yielding", "", "")
+
+
+class TestTree:
+    def _tree(self) -> ClassificationTree:
+        tree = ClassificationTree()
+        tree.add(classify_stack(stack("a", actual=15.0)))
+        tree.add(classify_stack(stack("b", yielding=6.0, actual=6.0)))
+        tree.add(classify_stack(stack("c", yielding=8.0, mem=2.0, actual=4.0)))
+        tree.add(classify_stack(stack("d", spinning=7.0, actual=5.5)))
+        return tree
+
+    def test_by_class(self):
+        grouped = self._tree().by_class()
+        assert {leaf.name for leaf in grouped["good"]} == {"a"}
+        assert {leaf.name for leaf in grouped["moderate"]} == {"b", "d"}
+        assert {leaf.name for leaf in grouped["poor"]} == {"c"}
+
+    def test_sorted_order_good_first(self):
+        ordered = self._tree().sorted_leaves()
+        assert ordered[0].name == "a"
+        assert ordered[-1].scaling == "poor"
+
+    def test_dominant_counts(self):
+        counts = self._tree().dominant_component_counts()
+        assert counts == {"yielding": 2, "spinning": 1}
+        assert self._tree().count_with_dominant("yielding") == 2
+        assert self._tree().count_with_dominant("cache") == 0

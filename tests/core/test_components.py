@@ -1,0 +1,39 @@
+"""Component enum and stacking order."""
+
+from __future__ import annotations
+
+from repro.core.components import Component, STACK_ORDER, TREE_LABELS
+
+
+class TestComponents:
+    def test_all_components_in_stack_order(self):
+        assert set(STACK_ORDER) == set(Component)
+
+    def test_base_is_bottom(self):
+        assert STACK_ORDER[0] == Component.BASE_SPEEDUP
+
+    def test_positive_above_base(self):
+        """Actual speedup = base + positive, so positive sits directly
+        on top of base (Figure 2)."""
+        assert STACK_ORDER[1] == Component.POSITIVE_LLC
+
+    def test_delimiter_flags(self):
+        assert not Component.BASE_SPEEDUP.is_delimiter
+        assert not Component.POSITIVE_LLC.is_delimiter
+        assert Component.YIELDING.is_delimiter
+        assert Component.NET_NEGATIVE_LLC.is_delimiter
+
+    def test_labels_unique(self):
+        labels = [comp.label for comp in Component]
+        assert len(set(labels)) == len(labels)
+
+    def test_tree_labels_match_figure6(self):
+        """The paper's tree calls LLC interference 'cache' and memory
+        subsystem interference 'memory'."""
+        assert TREE_LABELS[Component.NET_NEGATIVE_LLC] == "cache"
+        assert TREE_LABELS[Component.NEGATIVE_MEMORY] == "memory"
+        assert TREE_LABELS[Component.SPINNING] == "spinning"
+        assert TREE_LABELS[Component.YIELDING] == "yielding"
+
+    def test_string_enum_round_trip(self):
+        assert Component("yielding") is Component.YIELDING

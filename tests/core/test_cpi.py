@@ -1,0 +1,65 @@
+"""Per-core CPI stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.cpi import CpiStack, cpi_stacks, render_cpi_stacks
+from repro.sim.engine import simulate
+
+from tests.conftest import compute_only_program, lock_step_program
+
+
+class TestCpiStacks:
+    def test_compute_bound_cpi_near_base(self, machine4):
+        result = simulate(machine4, compute_only_program(4))
+        stacks = cpi_stacks(result)
+        for stack in stacks:
+            assert stack.base == pytest.approx(0.25)  # 4-wide
+            assert stack.cpi == pytest.approx(0.25, abs=0.05)
+
+    def test_idle_core_zeroed(self, machine4):
+        result = simulate(machine4, compute_only_program(2))
+        stacks = cpi_stacks(result)
+        assert stacks[2].instrs == 0
+        assert stacks[2].total == 0.0
+
+    def test_lock_program_shows_idle(self, machine4):
+        result = simulate(machine4, lock_step_program(4, iters=40))
+        stacks = cpi_stacks(result)
+        # blocked threads leave their cores idle
+        assert any(s.idle > 0 for s in stacks)
+
+    def test_components_sum(self, machine4):
+        result = simulate(machine4, lock_step_program(4))
+        for stack in cpi_stacks(result):
+            assert stack.total == pytest.approx(
+                sum(stack.components().values())
+            )
+            assert stack.cpi <= stack.total
+
+    def test_memory_component_from_dram(self):
+        from repro.workloads.program import Compute, Load, Program
+
+        def body(tid):
+            for k in range(200):
+                yield Compute(10)
+                # fresh line every time: steady DRAM misses
+                yield Load(0x100_0000 + (tid << 24) + k * 4096,
+                           overlappable=False)
+
+        machine = MachineConfig(n_cores=2)
+        result = simulate(machine, Program("m", [body(0), body(1)]))
+        stacks = cpi_stacks(result)
+        assert stacks[0].memory > stacks[0].base
+
+
+class TestRendering:
+    def test_table(self, machine4):
+        result = simulate(machine4, lock_step_program(4))
+        text = render_cpi_stacks(cpi_stacks(result))
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert "memory" in lines[0]
+        assert "idle" in lines[0]

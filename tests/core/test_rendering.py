@@ -1,0 +1,105 @@
+"""Text renderers: every figure renderer produces sane output."""
+
+from __future__ import annotations
+
+from repro.core.analysis import LlcInterference
+from repro.core.classification import ClassificationTree, classify_stack
+from repro.core.rendering import (
+    render_interference,
+    render_speedup_curve,
+    render_stack,
+    render_stack_series,
+    render_tree,
+    render_validation_table,
+)
+from repro.core.stack import SpeedupStack
+from repro.core.validation import ValidationRow
+
+
+def stack(name="bench", n=16, actual=None) -> SpeedupStack:
+    return SpeedupStack(
+        name=name, n_threads=n, tp_cycles=1000,
+        negative_llc=1.2, negative_memory=0.8, positive_llc=0.4,
+        spinning=0.6, yielding=3.0, imbalance=0.2,
+        actual_speedup=actual,
+    )
+
+
+class TestRenderStack:
+    def test_contains_all_significant_components(self):
+        text = render_stack(stack(actual=9.5))
+        assert "base speedup" in text
+        assert "yielding" in text
+        assert "net negative LLC interference" in text
+        assert "actual speedup" in text
+        assert "error" in text
+
+    def test_without_reference(self):
+        text = render_stack(stack())
+        assert "estimated speedup" in text
+        assert "actual" not in text
+
+    def test_zero_components_hidden(self):
+        zero = SpeedupStack(
+            name="z", n_threads=4, tp_cycles=10,
+            negative_llc=0, negative_memory=0, positive_llc=0,
+            spinning=0, yielding=0, imbalance=0,
+        )
+        text = render_stack(zero)
+        assert "spinning" not in text
+        assert "base speedup" in text
+
+
+class TestRenderSeries:
+    def test_columns_per_stack(self):
+        stacks = [stack(n=2), stack(n=4), stack(n=8)]
+        text = render_stack_series(stacks, title="demo")
+        assert text.startswith("demo")
+        header = text.splitlines()[2]
+        assert "2" in header and "4" in header and "8" in header
+
+
+class TestRenderCurve:
+    def test_curve_rows(self):
+        text = render_speedup_curve(
+            {"bench": {1: 1.0, 2: 1.9, 4: 3.5, 8: 6.0}}
+        )
+        assert "bench" in text
+        assert "8 threads" in text
+        lines = [l for l in text.splitlines() if "threads" in l]
+        assert len(lines) == 4
+
+
+class TestRenderValidation:
+    def test_table(self):
+        rows = [ValidationRow("a", 16, 5.0, 5.4), ValidationRow("b", 2, 1.5, 1.4)]
+        text = render_validation_table(rows)
+        assert "benchmark" in text
+        assert "a" in text and "b" in text
+        assert "%" in text
+
+
+class TestRenderTree:
+    def test_tree_blanks_repeated_prefixes(self):
+        tree = ClassificationTree()
+        tree.add(classify_stack(stack("one", actual=6.0)))
+        tree.add(classify_stack(stack("two", actual=6.5)))
+        text = render_tree(tree)
+        # "moderate" appears once as a class label (plus header word no)
+        body = text.splitlines()[1:]
+        count = sum(1 for line in body if line.startswith("moderate"))
+        assert count == 1
+        assert "one" in text and "two" in text
+
+
+class TestRenderInterference:
+    def test_bars(self):
+        text = render_interference([
+            LlcInterference("cholesky", 1.4, 1.0),
+            LlcInterference("needle", 0.3, 0.9),
+        ])
+        assert "cholesky" in text
+        assert "neg cache interference" in text
+        assert "net interference" in text
+        # needle's net is negative: rendered with a sign marker
+        assert "-" in text

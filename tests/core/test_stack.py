@@ -1,0 +1,145 @@
+"""Speedup stacks: the Equation 2-5 algebra and its invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting.report import AccountingReport, ThreadComponents
+from repro.core.components import Component
+from repro.core.stack import SpeedupStack, build_stack
+
+UNITS = st.floats(min_value=0.0, max_value=0.2, allow_nan=False)
+
+
+def make_stack(**overrides) -> SpeedupStack:
+    values = dict(
+        name="t", n_threads=4, tp_cycles=10_000,
+        negative_llc=0.5, negative_memory=0.25, positive_llc=0.2,
+        spinning=0.4, yielding=0.8, imbalance=0.1, coherency=0.0,
+    )
+    values.update(overrides)
+    return SpeedupStack(**values)
+
+
+class TestAlgebra:
+    def test_base_speedup_eq5(self):
+        stack = make_stack()
+        assert stack.total_overhead == pytest.approx(2.05)
+        assert stack.base_speedup == pytest.approx(4 - 2.05)
+
+    def test_estimated_speedup_eq4(self):
+        stack = make_stack()
+        assert stack.estimated_speedup == pytest.approx(4 - 2.05 + 0.2)
+
+    def test_net_negative_llc(self):
+        stack = make_stack()
+        assert stack.net_negative_llc == pytest.approx(0.3)
+
+    def test_segments_sum_to_n(self):
+        stack = make_stack()
+        assert sum(stack.segments().values()) == pytest.approx(4.0)
+        stack.validate_consistency()
+
+    def test_error_eq6(self):
+        stack = make_stack(actual_speedup=2.0)
+        expected = (stack.estimated_speedup - 2.0) / 4
+        assert stack.estimation_error == pytest.approx(expected)
+
+    def test_error_none_without_reference(self):
+        assert make_stack().estimation_error is None
+
+    def test_superlinear_possible(self):
+        """Positive interference can push the estimate above N when all
+        other overheads are small (noted as rare in Section 2)."""
+        stack = make_stack(
+            negative_llc=0.0, negative_memory=0.0, spinning=0.0,
+            yielding=0.0, imbalance=0.0, positive_llc=0.5,
+        )
+        assert stack.estimated_speedup > 4.0
+        assert stack.net_negative_llc < 0
+
+
+class TestRanking:
+    def test_ranked_delimiters_order(self):
+        stack = make_stack()
+        ranked = stack.ranked_delimiters()
+        assert ranked[0][0] == Component.YIELDING
+        values = [v for __, v in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_significance_filter(self):
+        stack = make_stack()
+        ranked = stack.ranked_delimiters(significance=0.35)
+        kept = {comp for comp, __ in ranked}
+        assert Component.IMBALANCE not in kept
+        assert Component.YIELDING in kept
+
+    def test_delimiters_exclude_base_and_positive(self):
+        delimiters = make_stack().delimiters()
+        assert Component.BASE_SPEEDUP not in delimiters
+        assert Component.POSITIVE_LLC not in delimiters
+
+
+class TestBuildFromReport:
+    def _report(self) -> AccountingReport:
+        threads = [
+            ThreadComponents(
+                thread_id=tid, negative_llc=500.0, negative_memory=250.0,
+                positive_llc=100.0, spinning=400.0, yielding=800.0,
+                imbalance=float(50 * tid),
+            )
+            for tid in range(2)
+        ]
+        return AccountingReport(n_threads=2, tp_cycles=10_000, threads=threads)
+
+    def test_component_normalization(self):
+        stack = build_stack("x", self._report())
+        # aggregate cycles / Tp
+        assert stack.negative_llc == pytest.approx(1000 / 10_000)
+        assert stack.imbalance == pytest.approx(50 / 10_000)
+
+    def test_actual_speedup_attached(self):
+        stack = build_stack("x", self._report(), ts_cycles=15_000)
+        assert stack.actual_speedup == pytest.approx(1.5)
+        assert stack.ts_cycles == 15_000
+
+    def test_estimated_matches_report(self):
+        report = self._report()
+        stack = build_stack("x", report)
+        assert stack.estimated_speedup == pytest.approx(
+            report.estimated_speedup
+        )
+
+    def test_consistency_invariant(self):
+        build_stack("x", self._report()).validate_consistency()
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(UNITS, UNITS, UNITS, UNITS, UNITS, UNITS,
+           st.integers(min_value=2, max_value=64))
+    def test_segments_always_sum_to_n(
+        self, neg, mem, pos, spin, yld, imb, n
+    ):
+        stack = SpeedupStack(
+            name="p", n_threads=n, tp_cycles=1000,
+            negative_llc=neg * n, negative_memory=mem * n,
+            positive_llc=pos * n, spinning=spin * n, yielding=yld * n,
+            imbalance=imb * n,
+        )
+        assert sum(stack.segments().values()) == pytest.approx(n)
+
+    @settings(max_examples=100, deadline=None)
+    @given(UNITS, UNITS, UNITS)
+    def test_estimate_decomposition(self, neg, pos, yld):
+        """estimated == base + positive, and base == N - overheads."""
+        stack = SpeedupStack(
+            name="p", n_threads=8, tp_cycles=1000,
+            negative_llc=neg, negative_memory=0.0, positive_llc=pos,
+            spinning=0.0, yielding=yld, imbalance=0.0,
+        )
+        assert stack.estimated_speedup == pytest.approx(
+            stack.base_speedup + stack.positive_llc
+        )
+        assert stack.base_speedup == pytest.approx(8 - neg - yld)

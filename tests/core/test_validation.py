@@ -1,0 +1,75 @@
+"""Validation metrics (Equation 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stack import SpeedupStack
+from repro.core.validation import (
+    ValidationRow,
+    errors_by_thread_count,
+    mean_absolute_error,
+    validation_row,
+)
+
+
+def row(name="b", n=16, actual=5.0, estimated=5.5) -> ValidationRow:
+    return ValidationRow(name, n, actual, estimated)
+
+
+class TestErrorMetric:
+    def test_signed_error(self):
+        assert row(actual=5.0, estimated=5.8).error == pytest.approx(0.05)
+        assert row(actual=5.8, estimated=5.0).error == pytest.approx(-0.05)
+
+    def test_abs_error(self):
+        assert row(actual=5.8, estimated=5.0).abs_error == pytest.approx(0.05)
+
+    def test_normalized_by_n(self):
+        small = row(n=4, actual=2.0, estimated=2.4)
+        big = row(n=16, actual=2.0, estimated=2.4)
+        assert small.error == pytest.approx(0.1)
+        assert big.error == pytest.approx(0.025)
+
+
+class TestAggregation:
+    def test_mean_absolute_error(self):
+        rows = [row(estimated=5.8), row(estimated=4.2)]
+        assert mean_absolute_error(rows) == pytest.approx(0.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([])
+
+    def test_errors_by_thread_count(self):
+        rows = [
+            row(n=2, actual=1.0, estimated=1.1),
+            row(n=2, actual=1.0, estimated=0.9),
+            row(n=16, actual=8.0, estimated=9.6),
+        ]
+        grouped = errors_by_thread_count(rows)
+        assert grouped[2] == pytest.approx(0.05)
+        assert grouped[16] == pytest.approx(0.1)
+        assert list(grouped) == [2, 16]
+
+
+class TestFromStack:
+    def test_extracts_point(self):
+        stack = SpeedupStack(
+            name="s", n_threads=4, tp_cycles=100,
+            negative_llc=0, negative_memory=0, positive_llc=0,
+            spinning=0, yielding=1.0, imbalance=0,
+            actual_speedup=2.5,
+        )
+        point = validation_row(stack)
+        assert point.actual_speedup == 2.5
+        assert point.estimated_speedup == pytest.approx(3.0)
+
+    def test_requires_reference(self):
+        stack = SpeedupStack(
+            name="s", n_threads=4, tp_cycles=100,
+            negative_llc=0, negative_memory=0, positive_llc=0,
+            spinning=0, yielding=0, imbalance=0,
+        )
+        with pytest.raises(ValueError):
+            validation_row(stack)

@@ -1,0 +1,126 @@
+"""What-if projection of bottleneck removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.components import Component
+from repro.core.stack import SpeedupStack
+from repro.core.whatif import (
+    advice,
+    optimization_opportunities,
+    project,
+    remove_component,
+)
+
+
+def stack(yielding=3.0, spinning=1.0, neg_llc=0.5, positive=0.2,
+          actual=5.0) -> SpeedupStack:
+    return SpeedupStack(
+        name="w", n_threads=16, tp_cycles=1000,
+        negative_llc=neg_llc, negative_memory=0.5, positive_llc=positive,
+        spinning=spinning, yielding=yielding, imbalance=0.1,
+        actual_speedup=actual,
+    )
+
+
+class TestProject:
+    def test_full_removal_adds_component(self):
+        s = stack()
+        result = remove_component(s, Component.YIELDING)
+        assert result.gain == pytest.approx(3.0)
+        assert result.projected_speedup == pytest.approx(8.0)
+
+    def test_partial_reduction(self):
+        result = project(stack(), {Component.YIELDING: 0.5})
+        assert result.gain == pytest.approx(1.5)
+
+    def test_combined_reductions(self):
+        result = project(
+            stack(), {Component.YIELDING: 1.0, Component.SPINNING: 1.0}
+        )
+        assert result.gain == pytest.approx(4.0)
+
+    def test_capped_at_n(self):
+        s = stack(yielding=14.0, actual=1.5)
+        result = remove_component(s, Component.YIELDING)
+        assert result.projected_speedup == 15.5
+
+        s2 = stack(yielding=15.0, actual=2.0)
+        result = remove_component(s2, Component.YIELDING)
+        assert result.projected_speedup == 16.0
+
+    def test_net_negative_llc_uses_net_value(self):
+        s = stack(neg_llc=1.0, positive=0.4)
+        result = remove_component(s, Component.NET_NEGATIVE_LLC)
+        assert result.gain == pytest.approx(0.6)
+
+    def test_baseline_falls_back_to_estimate(self):
+        s = stack(actual=None)
+        result = remove_component(s, Component.YIELDING)
+        assert result.baseline_speedup == pytest.approx(s.estimated_speedup)
+
+    def test_invalid_component_rejected(self):
+        with pytest.raises(ValueError):
+            project(stack(), {Component.BASE_SPEEDUP: 1.0})
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            project(stack(), {Component.YIELDING: 1.5})
+
+    def test_relative_gain(self):
+        result = remove_component(stack(), Component.YIELDING)
+        assert result.relative_gain == pytest.approx(3.0 / 5.0)
+
+
+class TestOpportunities:
+    def test_ranked_by_gain(self):
+        ranked = optimization_opportunities(stack())
+        gains = [o.gain for o in ranked]
+        assert gains == sorted(gains, reverse=True)
+        assert ranked[0].component == Component.YIELDING
+
+    def test_significance_filters_noise(self):
+        ranked = optimization_opportunities(stack(), significance=2.0)
+        assert [o.component for o in ranked] == [Component.YIELDING]
+
+    def test_perfect_scaler_empty(self):
+        s = SpeedupStack(
+            name="p", n_threads=16, tp_cycles=100,
+            negative_llc=0, negative_memory=0, positive_llc=0,
+            spinning=0, yielding=0, imbalance=0, actual_speedup=15.8,
+        )
+        assert optimization_opportunities(s) == []
+
+
+class TestAdvice:
+    def test_bottleneck_named(self):
+        text = advice(stack())
+        assert "yielding" in text
+        assert "8.00x" in text  # projected
+
+    def test_clean_scaler(self):
+        s = SpeedupStack(
+            name="clean", n_threads=16, tp_cycles=100,
+            negative_llc=0, negative_memory=0, positive_llc=0,
+            spinning=0, yielding=0, imbalance=0, actual_speedup=15.8,
+        )
+        assert "no significant scaling bottleneck" in advice(s)
+
+    def test_every_component_has_a_hint(self):
+        for comp in (Component.SPINNING, Component.NET_NEGATIVE_LLC,
+                     Component.NEGATIVE_MEMORY, Component.IMBALANCE,
+                     Component.COHERENCY):
+            kwargs = dict(yielding=0.0, spinning=0.0, neg_llc=0.0)
+            s = SpeedupStack(
+                name="h", n_threads=16, tp_cycles=1000,
+                negative_llc=3.0 if comp == Component.NET_NEGATIVE_LLC else 0,
+                negative_memory=3.0 if comp == Component.NEGATIVE_MEMORY else 0,
+                positive_llc=0.0,
+                spinning=3.0 if comp == Component.SPINNING else 0,
+                yielding=0.0,
+                imbalance=3.0 if comp == Component.IMBALANCE else 0,
+                coherency=3.0 if comp == Component.COHERENCY else 0,
+                actual_speedup=10.0,
+            )
+            assert comp.label in advice(s)

@@ -1,0 +1,69 @@
+"""Multi-program per-thread cycle accounting (the [7] baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.experiments.multiprogram import (
+    render_multiprogram,
+    run_multiprogram,
+)
+from repro.workloads.suite import by_name
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def result():
+    specs = [by_name("facesim_small"), by_name("blackscholes_small")]
+    return run_multiprogram(specs, scale=SCALE)
+
+
+class TestMultiProgram:
+    def test_one_entry_per_program(self, result):
+        assert [p.name for p in result.programs] == [
+            "facesim_small", "blackscholes_small",
+        ]
+        assert [p.core_id for p in result.programs] == [0, 1]
+
+    def test_corun_never_faster_than_isolated(self, result):
+        for p in result.programs:
+            assert p.slowdown >= 0.97  # allow simulation noise
+
+    def test_estimate_between_bounds(self, result):
+        for p in result.programs:
+            assert 0 < p.estimated_isolated_cycles <= p.co_run_cycles
+
+    def test_estimation_accuracy(self, result):
+        assert result.mean_abs_error < 0.12
+
+    def test_interference_nonnegative(self, result):
+        for p in result.programs:
+            assert p.accounted_interference >= 0
+
+    def test_compute_bound_program_unaffected(self, result):
+        blackscholes = result.programs[1]
+        assert blackscholes.slowdown < 1.1
+        assert abs(blackscholes.error) < 0.05
+
+    def test_program_count_must_match_cores(self):
+        with pytest.raises(ValueError):
+            run_multiprogram(
+                [by_name("radix")], MachineConfig(n_cores=2), scale=SCALE
+            )
+
+    def test_locks_do_not_couple_programs(self):
+        """Two copies of a lock-using benchmark must not contend with
+        each other across program boundaries."""
+        specs = [by_name("dedup_small"), by_name("dedup_small")]
+        result = run_multiprogram(specs, scale=SCALE)
+        for p in result.programs:
+            # single-threaded dedup has no contention; co-run copies
+            # must not introduce any (slowdown only from memory system)
+            assert p.slowdown < 1.35
+
+    def test_render(self, result):
+        text = render_multiprogram(result)
+        assert "facesim_small" in text
+        assert "mean |error|" in text

@@ -1,0 +1,64 @@
+"""Per-thread validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.perthread import (
+    PerThreadValidation,
+    ThreadValidation,
+    render_per_thread,
+    validate_per_thread,
+)
+from repro.workloads.suite import by_name
+
+SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def validation():
+    return validate_per_thread(by_name("dedup_small"), 4, scale=SCALE)
+
+
+class TestValidation:
+    def test_one_row_per_thread(self, validation):
+        assert [t.thread_id for t in validation.threads] == [0, 1, 2, 3]
+
+    def test_isolated_times_positive(self, validation):
+        for t in validation.threads:
+            assert t.isolated_cycles > 0
+            assert t.estimated_cycles > 0
+
+    def test_per_thread_errors_bounded(self, validation):
+        assert validation.mean_abs_error < 0.15
+
+    def test_aggregate_at_most_mean(self, validation):
+        """Signed aggregate error can only cancel, never exceed the
+        mean absolute per-thread error."""
+        assert abs(validation.aggregate_error) <= (
+            validation.mean_abs_error + 1e-9
+        )
+
+    def test_estimates_track_work_division(self, validation):
+        """Threads do ~equal shares: isolated times within ~15%."""
+        times = [t.isolated_cycles for t in validation.threads]
+        assert max(times) < 1.15 * min(times)
+
+    def test_render(self, validation):
+        text = render_per_thread(validation)
+        assert "thread" in text
+        assert "aggregate" in text
+
+
+class TestArithmetic:
+    def test_error_normalized_by_tp(self):
+        row = ThreadValidation(
+            thread_id=0, estimated_cycles=1100, isolated_cycles=1000,
+            tp_cycles=2000,
+        )
+        assert row.error == pytest.approx(0.05)
+
+    def test_empty(self):
+        v = PerThreadValidation(threads=[])
+        assert v.mean_abs_error == 0.0
+        assert v.aggregate_error == 0.0

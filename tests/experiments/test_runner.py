@@ -1,0 +1,85 @@
+"""Experiment runner: the full measurement protocol end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.experiments.runner import (
+    run_accounted,
+    run_experiment,
+    run_reference,
+)
+from repro.workloads.spec import build_program
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    return MachineConfig(n_cores=4)
+
+
+class TestProtocol:
+    def test_full_experiment(self, machine, tiny_spec):
+        result = run_experiment(
+            "tiny", machine,
+            build_program(tiny_spec, 4), build_program(tiny_spec, 1),
+        )
+        stack = result.stack
+        assert stack.actual_speedup is not None
+        assert 0.5 < stack.actual_speedup <= 4.5
+        assert stack.n_threads == 4
+        stack.validate_consistency()
+
+    def test_estimate_tracks_actual(self, machine, tiny_spec):
+        """The headline claim at small scale: |error| stays bounded."""
+        result = run_experiment(
+            "tiny", machine,
+            build_program(tiny_spec, 4), build_program(tiny_spec, 1),
+        )
+        assert abs(result.stack.estimation_error) < 0.20
+
+    def test_experiment_without_reference(self, machine, tiny_spec):
+        result = run_experiment(
+            "tiny", machine, build_program(tiny_spec, 4)
+        )
+        assert result.stack.actual_speedup is None
+        assert result.st_result is None
+        assert result.parallelization_overhead is None
+
+    def test_reference_runs_on_one_core(self, machine, tiny_spec):
+        result = run_reference(machine, build_program(tiny_spec, 1))
+        assert result.machine.n_cores == 1
+
+    def test_reference_rejects_multithreaded(self, machine, tiny_spec):
+        with pytest.raises(ValueError):
+            run_reference(machine, build_program(tiny_spec, 2))
+
+    def test_accounted_returns_report(self, machine, tiny_spec):
+        sim, report = run_accounted(machine, build_program(tiny_spec, 4))
+        assert report.tp_cycles == sim.total_cycles
+        assert report.n_threads == 4
+
+
+class TestOverheadMeasurement:
+    def test_parallelization_overhead_positive(self, machine):
+        from dataclasses import replace
+
+        from tests.conftest import BenchmarkSpec
+
+        spec = BenchmarkSpec(
+            name="oh", total_kinstrs=60, mem_per_kinstr=20,
+            private_ws_kb=16, par_overhead=0.2,
+        )
+        result = run_experiment(
+            "oh", machine, build_program(spec, 4), build_program(spec, 1)
+        )
+        assert result.parallelization_overhead == pytest.approx(0.2, abs=0.05)
+
+    def test_spin_instructions_excluded(self, machine, tiny_spec):
+        """Overhead subtracts spin-loop instructions (Section 6), so a
+        spin-heavy run does not masquerade as parallelization overhead."""
+        result = run_experiment(
+            "tiny", machine,
+            build_program(tiny_spec, 4), build_program(tiny_spec, 1),
+        )
+        assert result.parallelization_overhead < 0.15

@@ -1,0 +1,99 @@
+"""Figure drivers at tiny scale: caching, sweeps, structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MB, MachineConfig
+from repro.experiments.scenarios import (
+    ExperimentCache,
+    classification_tree,
+    ferret_core_sweep,
+    interference_breakdown,
+    llc_size_sweep,
+    speedup_curves,
+    stack_series,
+    validation_sweep,
+)
+from repro.workloads.suite import by_name
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def cache() -> ExperimentCache:
+    return ExperimentCache(scale=SCALE)
+
+
+class TestCache:
+    def test_run_memoized(self, cache):
+        spec = by_name("blackscholes_small")
+        first = cache.run(spec, 2)
+        second = cache.run(spec, 2)
+        assert first is second
+
+    def test_reference_memoized(self, cache):
+        spec = by_name("blackscholes_small")
+        machine = MachineConfig(n_cores=2)
+        assert cache.reference_cycles(spec, machine) == cache.reference_cycles(
+            spec, machine
+        )
+
+    def test_distinct_llc_sizes_not_conflated(self, cache):
+        spec = by_name("blackscholes_small")
+        base = MachineConfig(n_cores=2)
+        big = base.with_llc_size(4 * MB)
+        a = cache.run(spec, 2, base)
+        b = cache.run(spec, 2, big)
+        assert a is not b
+
+
+class TestFigureDrivers:
+    def test_speedup_curves_structure(self, cache):
+        curves = speedup_curves(
+            cache, benchmarks=("blackscholes_small",), thread_counts=(2, 4)
+        )
+        curve = curves["blackscholes_small"]
+        assert curve[1] == 1.0
+        assert set(curve) == {1, 2, 4}
+        assert curve[4] > curve[2] > 0.8
+
+    def test_validation_sweep(self, cache):
+        specs = (by_name("blackscholes_small"), by_name("dedup_small"))
+        summary = validation_sweep(cache, specs, thread_counts=(2, 4))
+        assert len(summary.rows) == 4
+        assert set(summary.error_by_threads) == {2, 4}
+        assert all(0 <= err < 0.5 for err in summary.error_by_threads.values())
+        assert "dedup_small" in summary.overheads
+
+    def test_stack_series(self, cache):
+        stacks = stack_series(cache, "dedup_small", thread_counts=(2, 4))
+        assert [s.n_threads for s in stacks] == [2, 4]
+        for stack in stacks:
+            stack.validate_consistency()
+
+    def test_classification_tree(self, cache):
+        specs = (by_name("blackscholes_small"), by_name("dedup_small"))
+        tree = classification_tree(cache, specs, n_threads=4)
+        assert len(tree.leaves) == 2
+
+    def test_interference_breakdown(self, cache):
+        rows = interference_breakdown(
+            cache, benchmarks=("cholesky",), n_threads=4
+        )
+        assert len(rows) == 1
+        assert rows[0].name == "cholesky"
+
+    def test_llc_size_sweep(self, cache):
+        points = llc_size_sweep(
+            cache, "cholesky", llc_sizes=(2 * MB, 4 * MB), n_threads=4
+        )
+        assert [p.llc_mb for p in points] == [2.0, 4.0]
+
+    def test_ferret_core_sweep(self, cache):
+        matched, oversub = ferret_core_sweep(
+            cache, core_counts=(2, 4), oversubscribed_threads=8
+        )
+        assert [p.n_cores for p in matched] == [2, 4]
+        assert all(p.n_threads == 8 for p in oversub)
+        assert all(p.speedup > 0 for p in matched + oversub)

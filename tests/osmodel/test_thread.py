@@ -1,0 +1,50 @@
+"""Software-thread and spin-context state."""
+
+from __future__ import annotations
+
+from repro.osmodel.thread import (
+    BLOCKED,
+    READY,
+    SoftwareThread,
+    SpinContext,
+)
+from repro.sync.primitives import LockState
+
+
+class TestSoftwareThread:
+    def test_initial_state(self):
+        thread = SoftwareThread(3, iter(()))
+        assert thread.tid == 3
+        assert thread.state == READY
+        assert thread.spin is None
+        assert thread.end_time == -1
+        assert thread.instrs == 0
+
+    def test_counters_start_zero(self):
+        thread = SoftwareThread(0, iter(()))
+        assert thread.gt_spin_cycles == 0
+        assert thread.gt_sync_cycles == 0
+        assert thread.gt_yield_cycles == 0
+        assert thread.n_yields == 0
+
+
+class TestSpinContext:
+    def test_lock_context(self):
+        lock = LockState(0, 0x1000)
+        ctx = SpinContext("lock", lock, now=500)
+        assert ctx.kind == "lock"
+        assert ctx.obj is lock
+        assert ctx.iters == 0
+        assert ctx.episode_start == 500
+
+    def test_restart_resets_budget(self):
+        lock = LockState(0, 0x1000)
+        ctx = SpinContext("lock", lock, now=500)
+        ctx.iters = 40
+        ctx.restart(now=9_000)
+        assert ctx.iters == 0
+        assert ctx.episode_start == 9_000
+
+    def test_barrier_context_records_generation(self):
+        ctx = SpinContext("barrier", object(), now=0, my_generation=7)
+        assert ctx.my_generation == 7

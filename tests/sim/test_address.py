@@ -1,0 +1,88 @@
+"""Address decomposition: cache sets/tags and DRAM banks/pages."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.config import KB, CacheConfig, DramConfig
+from repro.sim.address import CacheGeometry, DramGeometry, word_addr
+
+ADDRS = st.integers(min_value=0, max_value=2**48 - 1)
+
+
+def make_geometry(size_kb=64, assoc=4, line=64) -> CacheGeometry:
+    return CacheGeometry.from_config(
+        CacheConfig(size_bytes=size_kb * KB, assoc=assoc, line_bytes=line)
+    )
+
+
+class TestCacheGeometry:
+    def test_line_addr_strips_offset(self):
+        geo = make_geometry()
+        assert geo.line_addr(0) == geo.line_addr(63)
+        assert geo.line_addr(64) == geo.line_addr(0) + 1
+
+    def test_set_index_range(self):
+        geo = make_geometry()
+        n_sets = (64 * KB) // (4 * 64)
+        assert geo.n_sets == n_sets
+        for addr in (0, 64, 4096, 123456789):
+            assert 0 <= geo.set_index(addr) < n_sets
+
+    def test_consecutive_lines_map_to_consecutive_sets(self):
+        geo = make_geometry()
+        assert geo.set_index(64) == (geo.set_index(0) + 1) % geo.n_sets
+
+    def test_set_and_tag_matches_separate_calls(self):
+        geo = make_geometry()
+        for addr in (0, 64, 0xDEADBEEF, 2**40 + 12345):
+            assert geo.set_and_tag(addr) == (geo.set_index(addr), geo.tag(addr))
+
+    @given(ADDRS, ADDRS)
+    def test_same_set_and_tag_means_same_line(self, a, b):
+        geo = make_geometry()
+        if geo.set_and_tag(a) == geo.set_and_tag(b):
+            assert geo.line_addr(a) == geo.line_addr(b)
+
+    @given(ADDRS)
+    def test_reconstruction(self, addr):
+        """set index and tag together uniquely identify the line."""
+        geo = make_geometry()
+        set_index, tag = geo.set_and_tag(addr)
+        line = geo.line_addr(addr)
+        assert line == (tag << (geo.n_sets.bit_length() - 1)) | set_index
+
+
+class TestDramGeometry:
+    def test_within_page_same_bank_and_page(self):
+        geo = DramGeometry.from_config(DramConfig())
+        assert geo.page_id(0) == geo.page_id(4095)
+        assert geo.bank_index(0) == geo.bank_index(4095)
+
+    def test_consecutive_pages_rotate_banks(self):
+        geo = DramGeometry.from_config(DramConfig())
+        banks = [geo.bank_index(page * 4096) for page in range(16)]
+        assert banks[:8] == list(range(8))
+        assert banks[8:] == list(range(8))
+
+    @given(ADDRS)
+    def test_bank_in_range(self, addr):
+        geo = DramGeometry.from_config(DramConfig())
+        assert 0 <= geo.bank_index(addr) < 8
+
+    @given(ADDRS)
+    def test_page_id_consistent_with_bank(self, addr):
+        geo = DramGeometry.from_config(DramConfig())
+        assert geo.bank_index(addr) == geo.page_id(addr) % 8
+
+
+class TestWordAddr:
+    def test_aligns_down(self):
+        assert word_addr(0) == 0
+        assert word_addr(7) == 0
+        assert word_addr(8) == 8
+        assert word_addr(0xFFF) == 0xFF8
+
+    @given(ADDRS)
+    def test_idempotent(self, addr):
+        assert word_addr(word_addr(addr)) == word_addr(addr)

@@ -1,0 +1,153 @@
+"""Set-associative cache: LRU order, eviction, dirty tracking."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.sim.cache import SetAssocCache
+
+
+def make_cache(n_sets=4, assoc=2) -> SetAssocCache:
+    return SetAssocCache(
+        CacheConfig(size_bytes=n_sets * assoc * 64, assoc=assoc, line_bytes=64)
+    )
+
+
+def line_in_set(cache: SetAssocCache, set_index: int, k: int) -> int:
+    """The k-th distinct line address mapping to ``set_index``."""
+    return set_index + k * cache.geometry.n_sets
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(5)
+        cache.fill(5)
+        assert cache.lookup(5)
+        assert cache.n_hits == 1
+        assert cache.n_misses == 1
+
+    def test_fill_evicts_lru(self):
+        cache = make_cache(n_sets=4, assoc=2)
+        a, b, c = (line_in_set(cache, 1, k) for k in range(3))
+        cache.fill(a)
+        cache.fill(b)
+        victim = cache.fill(c)
+        assert victim == (a, False)
+        assert not cache.contains(a)
+        assert cache.contains(b)
+        assert cache.contains(c)
+
+    def test_lookup_promotes_to_mru(self):
+        cache = make_cache(n_sets=4, assoc=2)
+        a, b, c = (line_in_set(cache, 2, k) for k in range(3))
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a)  # promote a; b becomes LRU
+        victim = cache.fill(c)
+        assert victim == (b, False)
+
+    def test_lookup_without_lru_update_keeps_order(self):
+        cache = make_cache(n_sets=4, assoc=2)
+        a, b, c = (line_in_set(cache, 0, k) for k in range(3))
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a, update_lru=False)
+        victim = cache.fill(c)
+        assert victim == (a, False)
+
+    def test_refill_existing_line_no_eviction(self):
+        cache = make_cache()
+        cache.fill(9)
+        assert cache.fill(9) is None
+        assert cache.occupancy() == 1
+
+    def test_contains_does_not_count(self):
+        cache = make_cache()
+        cache.contains(1)
+        assert cache.n_hits == 0
+        assert cache.n_misses == 0
+
+
+class TestDirty:
+    def test_dirty_victim_reported(self):
+        cache = make_cache(n_sets=4, assoc=2)
+        a, b, c = (line_in_set(cache, 3, k) for k in range(3))
+        cache.fill(a, dirty=True)
+        cache.fill(b)
+        victim = cache.fill(c)
+        assert victim == (a, True)
+
+    def test_mark_dirty(self):
+        cache = make_cache(n_sets=4, assoc=2)
+        a, b, c = (line_in_set(cache, 3, k) for k in range(3))
+        cache.fill(a)
+        cache.mark_dirty(a)
+        cache.fill(b)
+        assert cache.fill(c) == (a, True)
+
+    def test_refill_preserves_dirty(self):
+        cache = make_cache(n_sets=4, assoc=2)
+        a, b, c = (line_in_set(cache, 3, k) for k in range(3))
+        cache.fill(a, dirty=True)
+        cache.fill(a, dirty=False)  # must not clear the dirty bit
+        cache.fill(b)
+        assert cache.fill(c) == (a, True)
+
+    def test_mark_dirty_on_absent_line_is_noop(self):
+        cache = make_cache()
+        cache.mark_dirty(42)
+        assert not cache.contains(42)
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        cache = make_cache()
+        cache.fill(7)
+        assert cache.invalidate(7)
+        assert not cache.contains(7)
+
+    def test_invalidate_absent(self):
+        cache = make_cache()
+        assert not cache.invalidate(7)
+
+    def test_invalidate_frees_way(self):
+        cache = make_cache(n_sets=4, assoc=2)
+        a, b, c = (line_in_set(cache, 1, k) for k in range(3))
+        cache.fill(a)
+        cache.fill(b)
+        cache.invalidate(a)
+        assert cache.fill(c) is None  # no eviction needed
+        assert cache.occupancy() == 2
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = make_cache(n_sets=4, assoc=2)
+        for line in lines:
+            if not cache.lookup(line):
+                cache.fill(line)
+            assert cache.occupancy() <= 8
+            for set_index in range(4):
+                assert len(cache.lines_in_set(set_index)) <= 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=300))
+    def test_most_recent_fill_always_resident(self, lines):
+        cache = make_cache(n_sets=8, assoc=4)
+        for line in lines:
+            cache.fill(line)
+            assert cache.contains(line)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+    def test_set_isolation(self, lines):
+        """A fill can only evict lines of its own set."""
+        cache = make_cache(n_sets=4, assoc=2)
+        for line in lines:
+            victim = cache.fill(line)
+            if victim is not None:
+                assert victim[0] % 4 == line % 4

@@ -1,0 +1,165 @@
+"""Chip memory hierarchy: hit/miss paths, MLP window, C2C, warmup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accounting.accountant import CycleAccountant
+from repro.config import KB, CacheConfig, MachineConfig
+from repro.sim.cmp import Chip, MSHR_LIMIT
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    return MachineConfig(n_cores=2)
+
+
+@pytest.fixture
+def chip(machine) -> Chip:
+    return Chip(machine)
+
+
+LINE = 64
+
+
+class TestLoadPath:
+    def test_l1_hit_after_fill(self, chip):
+        chip.load(0, 0x1000, 0, 0)
+        stall = chip.drain(0, 10_000)
+        assert chip.load(0, 0x1000, 0, 20_000) == 0  # L1 hit, hidden
+        assert chip.stats[0].l1_hits == 1
+
+    def test_dependent_l1_hit_pays_latency(self, chip, machine):
+        chip.load(0, 0x1000, 0, 0)
+        chip.drain(0, 10_000)
+        stall = chip.load(0, 0x1000, 0, 20_000, dependent=True)
+        assert stall == machine.l1d.hit_latency
+
+    def test_blocking_miss_pays_full_latency(self, chip, machine):
+        stall = chip.load(0, 0x1000, 0, 0, overlappable=False)
+        # l1 + llc lookup + dram (page empty + bus)
+        expected_min = (
+            machine.l1d.hit_latency
+            + machine.llc.hit_latency
+            + machine.dram.page_empty_cycles
+            + machine.dram.bus_cycles
+        )
+        assert stall >= expected_min
+
+    def test_overlappable_miss_defers_stall(self, chip):
+        assert chip.load(0, 0x1000, 0, 0, overlappable=True) == 0
+        assert chip.has_outstanding(0)
+        assert chip.drain(0, 0) > 0
+        assert not chip.has_outstanding(0)
+
+    def test_llc_hit_from_other_core_fill(self, chip):
+        # Core 0 brings the line to the LLC; core 0's L1 holds it too,
+        # so core 1 is served by LLC/C2C, not DRAM.
+        chip.load(0, 0x1000, 0, 0, overlappable=False)
+        before = chip.stats[1].dram_accesses
+        chip.load(1, 0x1000, 0, 50_000, overlappable=False)
+        assert chip.stats[1].dram_accesses == before
+        assert chip.stats[1].llc_hits == 1
+
+
+class TestMlpWindow:
+    def test_overlapped_misses_share_penalty(self, chip):
+        """Two overlappable misses drain in less than twice one miss."""
+        solo_chip = Chip(MachineConfig(n_cores=2))
+        solo = solo_chip.load(0, 0x10_0000, 0, 0, overlappable=False)
+
+        chip.load(0, 0x20_0000, 0, 0, overlappable=True)
+        chip.load(0, 0x20_1000, 0, 0, overlappable=True)  # next page -> other bank
+        combined = chip.drain(0, 0)
+        assert combined < 2 * solo
+
+    def test_rob_fill_forces_drain(self, chip, machine):
+        chip.load(0, 0x10_0000, 0, 0, overlappable=True)
+        stall = chip.compute(0, machine.core.rob_size, 0)
+        assert stall > 0
+        assert not chip.has_outstanding(0)
+
+    def test_compute_below_rob_keeps_outstanding(self, chip, machine):
+        chip.load(0, 0x10_0000, 0, 0, overlappable=True)
+        assert chip.compute(0, machine.core.rob_size // 2, 0) == 0
+        assert chip.has_outstanding(0)
+
+    def test_mshr_limit_forces_drain(self, chip):
+        for k in range(MSHR_LIMIT + 1):
+            chip.load(0, 0x10_0000 + k * 0x2_0000, 0, 0, overlappable=True)
+        # the (MSHR+1)-th miss drained the previous window
+        assert len(chip._mem_state[0].outstanding) == 1
+
+    def test_dependent_load_drains_first(self, chip):
+        chip.load(0, 0x10_0000, 0, 0, overlappable=True)
+        chip.load(0, 0x20_0000, 0, 0, dependent=True, overlappable=False)
+        assert not chip.has_outstanding(0)
+
+    def test_drain_after_time_passed_is_free(self, chip):
+        chip.load(0, 0x10_0000, 0, 0, overlappable=True)
+        assert chip.drain(0, 1_000_000) == 0
+
+
+class TestStorePath:
+    def test_store_never_blocks(self, chip):
+        assert chip.store(0, 0x40_0000, 0, 0) == 0  # miss -> outstanding
+        assert chip.has_outstanding(0)
+
+    def test_store_invalidates_other_l1(self, chip):
+        chip.load(0, 0x1000, 0, 0, overlappable=False)
+        chip.load(1, 0x1000, 0, 50_000, overlappable=False)
+        chip.store(1, 0x1000, 0, 60_000)
+        chip.drain(1, 70_000)
+        # core 0 now misses in L1 (tag-invalid -> coherency miss)
+        chip.load(0, 0x1000, 0, 80_000, overlappable=False)
+        assert chip.stats[0].coherency_misses == 1
+
+    def test_store_marks_value_version(self, chip):
+        chip.store(0, 0x1000, 0, 0)
+        version, writer = chip.directory.load_value(0x1000)
+        assert (version, writer) == (1, 0)
+
+
+class TestWarmup:
+    def test_warm_line_fills_hierarchy_silently(self, chip):
+        chip.warm_line(0, 0x1000)
+        assert chip.stats[0].l1_misses == 0
+        assert chip.stats[0].llc_misses == 0
+        assert chip.load(0, 0x1000, 0, 0) == 0  # L1 hit
+        assert chip.stats[0].l1_hits == 1
+
+    def test_warm_line_updates_atd(self, machine):
+        accountant = CycleAccountant(machine)
+        chip = Chip(machine, accountant)
+        chip.warm_line(0, 0x1000)
+        set_index = chip.llc.geometry.set_index(0x1000)
+        if accountant.atds[0].is_sampled(set_index):
+            line = chip.llc.geometry.line_addr(0x1000)
+            assert accountant.atds[0].tag_store.contains(line)
+        # warm accesses are not counted
+        assert accountant.llc_accesses[0] == 0
+
+    def test_warm_respects_capacity(self):
+        machine = MachineConfig(
+            n_cores=1,
+            llc=CacheConfig(size_bytes=64 * KB, assoc=4, hit_latency=30,
+                            hidden_latency=30),
+        )
+        chip = Chip(machine)
+        for k in range(4096):
+            chip.warm_line(0, k * LINE)
+        assert chip.llc.occupancy() <= machine.llc.n_lines
+
+
+class TestStats:
+    def test_instruction_counting(self, chip):
+        chip.compute(0, 100, 0)
+        chip.load(0, 0x1000, 0, 0)
+        chip.store(0, 0x2000, 0, 0)
+        assert chip.stats[0].instrs == 102
+        assert chip.stats[0].loads == 1
+        assert chip.stats[0].stores == 1
+
+    def test_per_core_isolation(self, chip):
+        chip.load(0, 0x1000, 0, 0)
+        assert chip.stats[1].loads == 0

@@ -1,0 +1,135 @@
+"""Coherence directory: sharers, invalidation, value versioning."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.coherence import CoherenceDirectory
+
+
+class TestSharers:
+    def test_add_and_remove(self):
+        directory = CoherenceDirectory(4)
+        directory.add_sharer(10, 0)
+        directory.add_sharer(10, 2)
+        assert directory.sharers_of(10) == frozenset({0, 2})
+        directory.remove_sharer(10, 0)
+        assert directory.sharers_of(10) == frozenset({2})
+        directory.remove_sharer(10, 2)
+        assert directory.sharers_of(10) == frozenset()
+
+    def test_remove_unknown_is_noop(self):
+        directory = CoherenceDirectory(2)
+        directory.remove_sharer(99, 1)
+        assert directory.sharers_of(99) == frozenset()
+
+
+class TestWriteInvalidate:
+    def test_invalidates_other_cores_only(self):
+        directory = CoherenceDirectory(4)
+        for core in (0, 1, 3):
+            directory.add_sharer(7, core)
+        victims = directory.write_invalidate(7, 1)
+        assert sorted(victims) == [0, 3]
+        assert directory.sharers_of(7) == frozenset({1})
+        assert directory.n_invalidations == 2
+        assert directory.n_upgrade_writes == 1
+
+    def test_writer_not_sharing_drops_line(self):
+        directory = CoherenceDirectory(4)
+        directory.add_sharer(7, 0)
+        victims = directory.write_invalidate(7, 2)
+        assert victims == [0]
+        assert directory.sharers_of(7) == frozenset()
+
+    def test_sole_owner_write_is_free(self):
+        directory = CoherenceDirectory(4)
+        directory.add_sharer(7, 2)
+        assert directory.write_invalidate(7, 2) == []
+        assert directory.n_invalidations == 0
+
+    def test_uncached_line_write(self):
+        directory = CoherenceDirectory(4)
+        assert directory.write_invalidate(123, 0) == []
+
+
+class TestCoherencyMissDetection:
+    def test_invalidation_leaves_invalid_tag(self):
+        directory = CoherenceDirectory(2)
+        directory.add_sharer(5, 0)
+        directory.write_invalidate(5, 1)
+        assert directory.consume_coherency_miss(5, 0)
+        # consumed: second probe is a plain miss
+        assert not directory.consume_coherency_miss(5, 0)
+
+    def test_refill_clears_invalid_tag(self):
+        directory = CoherenceDirectory(2)
+        directory.add_sharer(5, 0)
+        directory.write_invalidate(5, 1)
+        directory.add_sharer(5, 0)  # re-fetched the line
+        assert not directory.consume_coherency_miss(5, 0)
+
+    def test_plain_eviction_is_not_coherency_miss(self):
+        directory = CoherenceDirectory(2)
+        directory.add_sharer(5, 0)
+        directory.remove_sharer(5, 0)
+        assert not directory.consume_coherency_miss(5, 0)
+
+    def test_llc_drop_keeps_nonsharer_invalid_tags(self):
+        """Dropping a line clears tracking for its current sharers, but a
+        core whose copy was *invalidated* earlier still holds the stale
+        tag in its own L1 tag array — the marker survives until that
+        core refetches or replaces the line."""
+        directory = CoherenceDirectory(2)
+        directory.add_sharer(5, 0)
+        directory.write_invalidate(5, 1)
+        directory.add_sharer(5, 1)
+        directory.drop_line(5)
+        assert directory.consume_coherency_miss(5, 0)
+
+
+class TestDropLine:
+    def test_returns_all_sharers(self):
+        directory = CoherenceDirectory(4)
+        directory.add_sharer(9, 1)
+        directory.add_sharer(9, 3)
+        assert sorted(directory.drop_line(9)) == [1, 3]
+        assert directory.sharers_of(9) == frozenset()
+
+    def test_unknown_line(self):
+        directory = CoherenceDirectory(4)
+        assert directory.drop_line(404) == []
+
+
+class TestValueVersioning:
+    def test_unwritten_word_reads_initial(self):
+        directory = CoherenceDirectory(2)
+        assert directory.load_value(0x1000) == (-1, -1)
+
+    def test_store_bumps_version_and_writer(self):
+        directory = CoherenceDirectory(2)
+        directory.record_store(0x1000, 1)
+        assert directory.load_value(0x1000) == (1, 1)
+        directory.record_store(0x1000, 0)
+        assert directory.load_value(0x1000) == (2, 0)
+
+    def test_word_granularity(self):
+        directory = CoherenceDirectory(2)
+        directory.record_store(0x1000, 0)
+        # same 8-byte word
+        assert directory.load_value(0x1007) == (1, 0)
+        # next word untouched
+        assert directory.load_value(0x1008) == (-1, -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 3)),
+                    max_size=100))
+    def test_version_counts_stores_per_word(self, stores):
+        directory = CoherenceDirectory(4)
+        expected: dict[int, int] = {}
+        for word, core in stores:
+            directory.record_store(word * 8, core)
+            expected[word * 8] = expected.get(word * 8, 0) + 1
+        for word_addr, count in expected.items():
+            version, __ = directory.load_value(word_addr)
+            assert version == count

@@ -1,0 +1,191 @@
+"""Execution engine: scheduling, determinism, sync, oversubscription."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, SchedConfig
+from repro.errors import DeadlockError, SimulationError
+from repro.osmodel.thread import FINISHED
+from repro.sim.engine import Simulation, simulate
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Program,
+    Store,
+)
+
+from tests.conftest import compute_only_program, lock_step_program
+
+
+class TestBasicExecution:
+    def test_all_threads_finish(self, machine4):
+        result = simulate(machine4, compute_only_program(4))
+        assert all(t.state == FINISHED for t in result.threads)
+        assert result.total_cycles > 0
+
+    def test_compute_time_matches_width(self, machine1):
+        result = simulate(machine1, compute_only_program(1, 4000))
+        dispatch = (
+            machine1.sched.context_switch_cycles
+            + machine1.sched.overhead_per_core_cycles
+        )
+        expected = 4000 // machine1.core.dispatch_width + dispatch
+        assert result.total_cycles == expected
+
+    def test_equal_threads_finish_together(self, machine4):
+        result = simulate(machine4, compute_only_program(4))
+        ends = result.thread_end_times
+        assert max(ends) - min(ends) < 100
+
+    def test_total_instrs_counted(self, machine4):
+        result = simulate(machine4, compute_only_program(4, 2000))
+        assert result.total_instrs == 4 * 2000
+
+    def test_determinism(self, machine4):
+        a = simulate(machine4, lock_step_program(4))
+        b = simulate(machine4, lock_step_program(4))
+        assert a.total_cycles == b.total_cycles
+        assert a.thread_end_times == b.thread_end_times
+        assert a.total_instrs == b.total_instrs
+
+
+class TestLocks:
+    def test_mutual_exclusion_bookkeeping(self, machine4):
+        result = simulate(machine4, lock_step_program(4))
+        lock = result.sync.locks[0]
+        assert lock.holder is None
+        assert lock.n_acquires == 4 * 30
+
+    def test_contention_produces_spin_or_yield(self, machine4):
+        result = simulate(machine4, lock_step_program(4, iters=60))
+        total_spin = sum(t.gt_spin_cycles for t in result.threads)
+        assert total_spin > 0
+
+    def test_release_unheld_lock_raises(self, machine4):
+        def bad():
+            yield LockRelease(0)
+
+        program = Program("bad", [bad()])
+        with pytest.raises(SimulationError):
+            simulate(machine4, program)
+
+    def test_single_thread_locks_uncontended(self, machine1):
+        result = simulate(machine1, lock_step_program(1))
+        thread = result.threads[0]
+        assert thread.gt_spin_cycles == 0
+        assert thread.n_yields == 0
+
+
+class TestFifoHandoff:
+    def _contended(self, fifo: bool):
+        def body(tid):
+            for __ in range(12):
+                yield LockAcquire(0)
+                yield Compute(800)
+                yield LockRelease(0)
+                yield Compute(100)
+
+        return Program("ff", [body(t) for t in range(4)],
+                       lock_fifo_handoff=fifo)
+
+    def test_fifo_runs_to_completion(self, machine4):
+        result = simulate(machine4, self._contended(True))
+        assert result.sync.locks[0].n_acquires == 48
+
+    def test_fifo_flag_propagates(self, machine4):
+        result = simulate(machine4, self._contended(True))
+        assert result.sync.locks[0].fifo_handoff
+        result = simulate(machine4, self._contended(False))
+        assert not result.sync.locks[0].fifo_handoff
+
+
+class TestBarriers:
+    def test_barrier_synchronizes(self, machine4):
+        order = []
+
+        def body(tid):
+            yield Compute(100 * (tid + 1))
+            yield BarrierWait(0)
+            order.append(tid)
+            yield Compute(10)
+
+        result = simulate(machine4, Program("b", [body(t) for t in range(4)]))
+        assert sorted(order) == [0, 1, 2, 3]
+        assert result.sync.barriers[0].n_episodes == 1
+
+    def test_imbalanced_arrival_yields(self, machine4):
+        def body(tid):
+            # thread 3 arrives very late; the others must wait
+            yield Compute(100 if tid < 3 else 60_000)
+            yield BarrierWait(0)
+
+        result = simulate(machine4, Program("b", [body(t) for t in range(4)]))
+        early = [t for t in result.threads if t.tid < 3]
+        assert all(t.n_yields >= 1 for t in early)
+        assert all(t.gt_yield_cycles > 10_000 for t in early)
+
+    def test_reusable_barrier(self, machine4):
+        def body(tid):
+            for phase in range(3):
+                yield Compute(50)
+                yield BarrierWait(0)
+
+        result = simulate(machine4, Program("b", [body(t) for t in range(4)]))
+        assert result.sync.barriers[0].n_episodes == 3
+
+
+class TestImbalance:
+    def test_imbalance_cycles(self, machine4):
+        def body(tid):
+            yield Compute(1000 if tid else 20_000)
+
+        result = simulate(machine4, Program("i", [body(t) for t in range(4)]))
+        imbalance = result.imbalance_cycles
+        assert imbalance[0] == 0  # slowest thread
+        assert all(v > 0 for v in imbalance[1:])
+        assert max(result.thread_end_times) == result.total_cycles
+
+
+class TestOversubscription:
+    def test_more_threads_than_cores(self):
+        machine = MachineConfig(n_cores=2)
+        result = simulate(machine, compute_only_program(8, 4000))
+        assert all(t.state == FINISHED for t in result.threads)
+        # 8 threads of work on 2 cores takes ~4x one thread's time
+        solo = simulate(MachineConfig(n_cores=1), compute_only_program(1, 4000))
+        assert result.total_cycles > 3 * solo.total_cycles
+
+    def test_timeslice_preemption(self):
+        sched = SchedConfig(timeslice_cycles=2_000)
+        machine = MachineConfig(n_cores=1, sched=sched)
+        result = simulate(machine, compute_only_program(2, 20_000))
+        # both threads must finish despite sharing one core
+        assert all(t.state == FINISHED for t in result.threads)
+        spread = abs(result.thread_end_times[0] - result.thread_end_times[1])
+        # interleaved execution: they end within a few timeslices
+        assert spread < 4 * sched.timeslice_cycles + 10_000
+
+    def test_oversubscribed_lock_program(self):
+        machine = MachineConfig(
+            n_cores=2, sched=SchedConfig(timeslice_cycles=5_000)
+        )
+        result = simulate(machine, lock_step_program(6, iters=10))
+        assert result.sync.locks[0].n_acquires == 60
+
+
+class TestSafetyRails:
+    def test_max_cycles_guard(self, machine4):
+        with pytest.raises(SimulationError):
+            simulate(machine4, compute_only_program(4, 10**6), max_cycles=10)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Program("empty", [])
+
+    def test_warmup_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Program("w", [iter(())], warmup=[[], []])

@@ -1,0 +1,148 @@
+"""Engine edge cases: scheduler corners, pathological programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, SchedConfig
+from repro.osmodel.thread import FINISHED
+from repro.sim.engine import Simulation, simulate
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Program,
+    Store,
+)
+
+
+class TestEmptyAndTiny:
+    def test_empty_thread_body(self, machine4):
+        result = simulate(machine4, Program("e", [iter(())]))
+        assert result.threads[0].state == FINISHED
+        assert result.threads[0].instrs == 0
+
+    def test_mixed_empty_and_working(self, machine4):
+        def work():
+            yield Compute(500)
+
+        result = simulate(machine4, Program("m", [iter(()), work()]))
+        assert all(t.state == FINISHED for t in result.threads)
+        assert result.threads[0].end_time < result.threads[1].end_time
+
+    def test_single_op(self, machine1):
+        result = simulate(machine1, Program("s", [iter([Compute(1)])]))
+        assert result.threads[0].instrs == 1
+
+
+class TestPreemptedLockHolder:
+    def test_holder_preemption_does_not_deadlock(self):
+        """A lock holder preempted mid-critical-section must eventually
+        resume and release (convoy, not deadlock)."""
+        machine = MachineConfig(
+            n_cores=1, sched=SchedConfig(timeslice_cycles=300)
+        )
+
+        def body(tid):
+            for __ in range(5):
+                yield LockAcquire(0)
+                yield Compute(4_000)  # longer than the timeslice
+                yield LockRelease(0)
+                yield Compute(100)
+
+        result = simulate(machine, Program("c", [body(0), body(1)]))
+        assert all(t.state == FINISHED for t in result.threads)
+        assert result.sync.locks[0].n_acquires == 10
+
+
+class TestWakeToBusyCore:
+    def test_woken_thread_waits_for_its_core(self):
+        """A woken thread whose home core is running someone else must
+        queue (its yield interval includes the queue wait)."""
+        machine = MachineConfig(n_cores=1)
+
+        def blocker():
+            yield LockAcquire(0)
+            yield Compute(2_000)
+            yield LockRelease(0)
+            yield Compute(20_000)  # keeps the core busy after release
+
+        def waiter():
+            yield Compute(10)
+            yield LockAcquire(0)
+            yield Compute(10)
+            yield LockRelease(0)
+
+        result = simulate(machine, Program("w", [blocker(), waiter()]))
+        assert all(t.state == FINISHED for t in result.threads)
+
+    def test_lock_passed_through_many_threads_one_core(self):
+        machine = MachineConfig(
+            n_cores=1, sched=SchedConfig(timeslice_cycles=2_000)
+        )
+
+        def body(tid):
+            yield LockAcquire(0)
+            yield Compute(500)
+            yield LockRelease(0)
+
+        result = simulate(machine, Program("p", [body(t) for t in range(6)]))
+        assert result.sync.locks[0].n_acquires == 6
+
+
+class TestStress:
+    def test_many_locks(self, machine4):
+        def body(tid):
+            for lock_id in range(50):
+                yield LockAcquire(lock_id)
+                yield Compute(20)
+                yield LockRelease(lock_id)
+
+        result = simulate(machine4, Program("ml", [body(t) for t in range(4)]))
+        assert len(result.sync.locks) == 50
+        for lock in result.sync.locks.values():
+            assert lock.n_acquires == 4
+
+    def test_many_barriers(self, machine4):
+        def body(tid):
+            for phase in range(40):
+                yield Compute(20 + tid)
+                yield BarrierWait(phase)
+
+        result = simulate(machine4, Program("mb", [body(t) for t in range(4)]))
+        assert len(result.sync.barriers) == 40
+
+    def test_alternating_load_store_same_line(self, machine4):
+        """Four threads hammering one line: coherence ping-pong must
+        stay consistent and terminate."""
+        def body(tid):
+            for k in range(100):
+                yield Load(0x8000_0000)
+                yield Store(0x8000_0000)
+
+        result = simulate(machine4, Program("pp", [body(t) for t in range(4)]))
+        assert all(t.state == FINISHED for t in result.threads)
+        assert result.chip.directory.n_invalidations > 50
+
+    def test_interleaved_barrier_ids_out_of_order(self, machine4):
+        """Threads may reach barriers in any id order across phases."""
+        def body(tid):
+            yield Compute(100 * (tid + 1))
+            yield BarrierWait(7)
+            yield Compute(50)
+            yield BarrierWait(3)
+
+        result = simulate(machine4, Program("o", [body(t) for t in range(4)]))
+        assert result.sync.barriers[7].n_episodes == 1
+        assert result.sync.barriers[3].n_episodes == 1
+
+
+class TestTimeMonotonicity:
+    def test_end_times_nonnegative_and_ordered(self, machine4):
+        from tests.conftest import lock_step_program
+
+        result = simulate(machine4, lock_step_program(4))
+        for thread in result.threads:
+            assert 0 <= thread.end_time <= result.total_cycles

@@ -1,0 +1,144 @@
+"""Futex wait/wake and sched_yield ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import DeadlockError
+from repro.osmodel.thread import FINISHED
+from repro.sim.engine import simulate
+from repro.workloads.program import (
+    Compute,
+    FutexWait,
+    FutexWake,
+    Program,
+    YieldCpu,
+)
+
+ADDR = 0x5000_0000
+
+
+class TestFutex:
+    def test_wait_then_wake(self, machine4):
+        woke_at = []
+
+        def waiter():
+            yield FutexWait(ADDR)
+            woke_at.append("woken")
+            yield Compute(10)
+
+        def waker():
+            yield Compute(5_000)
+            yield FutexWake(ADDR)
+
+        result = simulate(machine4, Program("f", [waiter(), waker()]))
+        assert woke_at == ["woken"]
+        # waker computes 5000 instrs (~1250 cycles) before the wake
+        assert result.threads[0].end_time > 1_250
+        assert result.threads[0].n_yields == 1
+        assert result.threads[0].gt_yield_cycles > 1_250
+
+    def test_wake_all(self, machine4):
+        def waiter():
+            yield FutexWait(ADDR)
+            yield Compute(10)
+
+        def waker():
+            yield Compute(2_000)
+            yield FutexWake(ADDR, wake_all=True)
+
+        result = simulate(
+            machine4, Program("f", [waiter(), waiter(), waiter(), waker()])
+        )
+        assert all(t.state == FINISHED for t in result.threads)
+
+    def test_wake_one_leaves_others_blocked(self, machine4):
+        def waiter():
+            yield FutexWait(ADDR)
+
+        def waker():
+            yield Compute(1_000)
+            yield FutexWake(ADDR)  # wakes exactly one
+
+        with pytest.raises(DeadlockError):
+            simulate(machine4, Program("f", [waiter(), waiter(), waker()]))
+
+    def test_wake_without_waiters_is_noop(self, machine4):
+        def body():
+            yield FutexWake(ADDR)
+            yield Compute(10)
+
+        result = simulate(machine4, Program("f", [body()]))
+        assert result.threads[0].state == FINISHED
+
+    def test_distinct_addresses_independent(self, machine4):
+        def waiter(addr):
+            yield FutexWait(addr)
+
+        def waker():
+            yield Compute(500)
+            yield FutexWake(ADDR)
+            yield FutexWake(ADDR + 64)
+
+        result = simulate(
+            machine4,
+            Program("f", [waiter(ADDR), waiter(ADDR + 64), waker()]),
+        )
+        assert all(t.state == FINISHED for t in result.threads)
+
+    def test_wait_counts_as_sync_yield(self, machine4):
+        """Futex waits are synchronization blocks: accounted yielding."""
+        from repro.accounting.accountant import CycleAccountant
+        from repro.sim.engine import Simulation
+
+        def waiter():
+            yield FutexWait(ADDR)
+
+        def waker():
+            yield Compute(3_000)
+            yield FutexWake(ADDR)
+
+        accountant = CycleAccountant(machine := MachineConfig(n_cores=2))
+        Simulation(machine, Program("f", [waiter(), waker()]), accountant).run()
+        # waker computes 3000 instrs (~750 cycles) before the wake
+        assert accountant.yield_cycles.get(0, 0) > 750
+
+
+class TestYieldCpu:
+    def test_yield_rotates_threads_on_one_core(self):
+        machine = MachineConfig(n_cores=1)
+        order = []
+
+        def body(tid):
+            for step in range(3):
+                order.append((tid, step))
+                yield Compute(100)
+                yield YieldCpu()
+
+        simulate(machine, Program("y", [body(0), body(1)]))
+        # threads alternate instead of running to completion
+        assert order[:4] == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_yield_without_competition_continues(self, machine4):
+        def body():
+            yield Compute(100)
+            yield YieldCpu()
+            yield Compute(100)
+
+        result = simulate(machine4, Program("y", [body()]))
+        assert result.threads[0].state == FINISHED
+
+    def test_yield_is_not_sync_yielding(self, machine4):
+        """sched_yield is not a synchronization wait: no yield interval."""
+        from repro.accounting.accountant import CycleAccountant
+        from repro.sim.engine import Simulation
+
+        def body():
+            yield Compute(100)
+            yield YieldCpu()
+            yield Compute(100)
+
+        accountant = CycleAccountant(machine4)
+        Simulation(machine4, Program("y", [body()]), accountant).run()
+        assert accountant.yield_cycles.get(0, 0) == 0

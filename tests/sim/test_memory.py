@@ -1,0 +1,138 @@
+"""DRAM model: page policy, bus/bank occupancy, interference attribution."""
+
+from __future__ import annotations
+
+from repro.config import DramConfig
+from repro.sim.memory import (
+    MainMemory,
+    PAGE_CONFLICT,
+    PAGE_EMPTY,
+    PAGE_HIT,
+    _SharedResource,
+)
+
+CFG = DramConfig()  # 8 banks, 4KB pages, bus 16, cas 40, rcd 60, rp 60
+
+
+class TestSharedResource:
+    def test_free_resource_no_wait(self):
+        res = _SharedResource()
+        start, wait_other = res.reserve(100, 10, core_id=0)
+        assert start == 100
+        assert wait_other == 0
+
+    def test_queued_wait_attributed_to_other_core(self):
+        res = _SharedResource()
+        res.reserve(100, 50, core_id=0)
+        start, wait_other = res.reserve(100, 10, core_id=1)
+        assert start == 150
+        assert wait_other == 50
+
+    def test_own_queueing_not_attributed(self):
+        res = _SharedResource()
+        res.reserve(100, 50, core_id=1)
+        start, wait_other = res.reserve(100, 10, core_id=1)
+        assert start == 150
+        assert wait_other == 0
+
+    def test_mixed_queue_splits_attribution(self):
+        res = _SharedResource()
+        res.reserve(100, 30, core_id=0)   # 100-130 other
+        res.reserve(100, 20, core_id=1)   # 130-150 own
+        start, wait_other = res.reserve(100, 10, core_id=1)
+        assert start == 150
+        assert wait_other == 30
+
+    def test_history_pruned(self):
+        res = _SharedResource()
+        for t in range(0, 1000, 100):
+            res.reserve(t, 10, core_id=0)
+        assert len(res._reservations) < 5
+
+
+class TestPagePolicy:
+    def test_first_access_empty_bank(self):
+        memory = MainMemory(CFG)
+        result = memory.access(0x1000, core_id=0, t_request=0)
+        assert result.page_outcome == PAGE_EMPTY
+        assert result.prev_open_page is None
+        assert result.latency == CFG.page_empty_cycles + CFG.bus_cycles
+
+    def test_second_access_same_page_hits(self):
+        memory = MainMemory(CFG)
+        memory.access(0x1000, 0, 0)
+        result = memory.access(0x1040, 0, 1000)
+        assert result.page_outcome == PAGE_HIT
+        assert result.latency == CFG.page_hit_cycles + CFG.bus_cycles
+        assert result.page_extra_cycles == 0
+
+    def test_different_page_same_bank_conflicts(self):
+        memory = MainMemory(CFG)
+        memory.access(0x1000, 0, 0)
+        # +8 pages -> same bank, different page
+        result = memory.access(0x1000 + 8 * 4096, 1, 1000)
+        assert result.page_outcome == PAGE_CONFLICT
+        assert result.prev_opener == 0
+        assert result.page_extra_cycles == CFG.conflict_extra_cycles
+
+    def test_different_banks_do_not_conflict(self):
+        memory = MainMemory(CFG)
+        memory.access(0x0000, 0, 0)
+        result = memory.access(0x1000, 1, 1000)  # next page, next bank
+        assert result.page_outcome == PAGE_EMPTY
+
+    def test_prev_opener_reported(self):
+        memory = MainMemory(CFG)
+        memory.access(0x1000, 3, 0)
+        result = memory.access(0x1000 + 8 * 4096, 1, 1000)
+        assert result.prev_opener == 3
+        assert result.prev_open_page == 0x1000 >> 12
+
+
+class TestContention:
+    def test_bank_wait_from_other_core(self):
+        memory = MainMemory(CFG)
+        memory.access(0x1000, 0, 0)
+        result = memory.access(0x1000 + 8 * 4096, 1, 0)
+        assert result.bank_wait_other > 0
+
+    def test_bus_wait_from_other_core(self):
+        memory = MainMemory(CFG)
+        # Different banks (no bank conflict) but one shared bus.
+        memory.access(0x0000, 0, 0)
+        result = memory.access(0x1000, 1, 0)
+        # bank service concurrent; bus transfer serialized
+        assert result.bus_wait_other > 0
+
+    def test_unloaded_access_no_interference(self):
+        memory = MainMemory(CFG)
+        result = memory.access(0x2000, 0, 0)
+        assert result.bus_wait_other == 0
+        assert result.bank_wait_other == 0
+
+
+class TestWriteback:
+    def test_writeback_counts_and_occupies(self):
+        memory = MainMemory(CFG)
+        memory.writeback(0x1000, 0, 0)
+        assert memory.n_writebacks == 1
+        # a demand access right after must wait behind the writeback
+        result = memory.access(0x1000 + 8 * 4096, 1, 0)
+        assert result.bank_wait_other > 0
+
+    def test_writeback_updates_open_page(self):
+        memory = MainMemory(CFG)
+        memory.writeback(0x1000, 0, 0)
+        result = memory.access(0x1040, 0, 10_000)
+        assert result.page_outcome == PAGE_HIT
+
+
+class TestCounters:
+    def test_hit_and_conflict_counters(self):
+        memory = MainMemory(CFG)
+        memory.access(0x1000, 0, 0)
+        memory.access(0x1040, 0, 1000)            # page hit
+        memory.access(0x1000 + 8 * 4096, 0, 2000)  # conflict
+        assert memory.n_accesses == 3
+        assert memory.n_page_hits == 1
+        assert memory.n_page_conflicts == 1

@@ -1,0 +1,119 @@
+"""Way-partitioned LLC mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import KB, CacheConfig, MachineConfig
+from repro.errors import ConfigError
+from repro.sim.partition import WayPartitionedCache, equal_quotas
+
+CFG = CacheConfig(size_bytes=8 * KB, assoc=4, line_bytes=64)  # 32 sets
+
+
+def make(quotas=(2, 2)) -> WayPartitionedCache:
+    return WayPartitionedCache(CFG, quotas)
+
+
+def lines(set_index, k, n_sets=32):
+    return [set_index + i * n_sets for i in range(k)]
+
+
+class TestQuotaEnforcement:
+    def test_fill_within_quota_no_eviction(self):
+        cache = make()
+        a, b = lines(0, 2)
+        assert cache.fill(a, owner=0) is None
+        assert cache.fill(b, owner=0) is None
+
+    def test_over_quota_evicts_own_lru(self):
+        cache = make()
+        a, b, c = lines(0, 3)
+        cache.fill(a, owner=0)
+        cache.fill(b, owner=0)
+        victim = cache.fill(c, owner=0)
+        assert victim == (a, False)
+
+    def test_never_evicts_other_core_within_quota(self):
+        cache = make()
+        a, b, c, d, e = lines(0, 5)
+        cache.fill(a, owner=1)   # core 1's protected line
+        cache.fill(b, owner=0)
+        cache.fill(c, owner=0)
+        cache.fill(d, owner=0)   # evicts b (core 0's own LRU)
+        cache.fill(e, owner=0)   # evicts c
+        assert cache.contains(a)
+        assert not cache.contains(b)
+
+    def test_hit_is_shared(self):
+        """Any core hits on any resident line (the data is shared)."""
+        cache = make()
+        line = lines(3, 1)[0]
+        cache.fill(line, owner=0)
+        assert cache.lookup(line)
+
+    def test_owner_tracked(self):
+        cache = make()
+        line = lines(1, 1)[0]
+        cache.fill(line, owner=1)
+        assert cache.owner_of(line) == 1
+        assert cache.owned_in_set(1, 1) == 1
+        assert cache.owned_in_set(1, 0) == 0
+
+    def test_refill_transfers_ownership(self):
+        cache = make()
+        line = lines(0, 1)[0]
+        cache.fill(line, owner=0)
+        cache.fill(line, owner=1)
+        assert cache.owner_of(line) == 1
+
+    def test_invalidate_releases_quota(self):
+        cache = make()
+        a, b, c = lines(0, 3)
+        cache.fill(a, owner=0)
+        cache.fill(b, owner=0)
+        cache.invalidate(a)
+        assert cache.fill(c, owner=0) is None  # quota freed
+
+
+class TestQuotaValidation:
+    def test_quotas_exceeding_assoc_rejected(self):
+        with pytest.raises(ConfigError):
+            WayPartitionedCache(CFG, (3, 3))
+
+    def test_zero_quota_rejected(self):
+        with pytest.raises(ConfigError):
+            WayPartitionedCache(CFG, (0, 4))
+
+    def test_equal_quotas(self):
+        assert equal_quotas(16, 4) == (4, 4, 4, 4)
+        assert equal_quotas(16, 3) == (6, 5, 5)
+        with pytest.raises(ConfigError):
+            equal_quotas(4, 8)
+
+
+class TestMachineIntegration:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_cores=4, llc_quotas=(4, 4, 4))  # wrong length
+        with pytest.raises(ValueError):
+            MachineConfig(n_cores=2, llc_quotas=(10, 10))  # > 16 ways
+
+    def test_with_llc_quotas(self):
+        machine = MachineConfig(n_cores=4).with_llc_quotas((1, 5, 5, 5))
+        assert machine.llc_quotas == (1, 5, 5, 5)
+
+    def test_chip_uses_partitioned_cache(self):
+        from repro.sim.cmp import Chip
+
+        machine = MachineConfig(n_cores=4).with_llc_quotas((4, 4, 4, 4))
+        chip = Chip(machine)
+        assert isinstance(chip.llc, WayPartitionedCache)
+
+    def test_partitioned_run_completes(self):
+        from repro.sim.engine import simulate
+        from tests.conftest import lock_step_program
+
+        machine = MachineConfig(n_cores=4).with_llc_quotas((4, 4, 4, 4))
+        result = simulate(machine, lock_step_program(4, iters=10))
+        assert result.total_cycles > 0

@@ -1,0 +1,88 @@
+"""Synchronization state objects: locks, barriers, address allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.osmodel.thread import SoftwareThread
+from repro.sync.primitives import (
+    BarrierState,
+    LockState,
+    SYNC_REGION_BASE,
+    SyncManager,
+    PC_LOCK_SPIN_LOAD,
+    PC_LOCK_TEST,
+)
+
+
+def thread(tid: int) -> SoftwareThread:
+    return SoftwareThread(tid, iter(()))
+
+
+class TestLockState:
+    def test_free_initially(self):
+        lock = LockState(0, 0x1000)
+        assert lock.is_free
+        assert not lock.fifo_handoff
+
+    def test_holder_tracking(self):
+        lock = LockState(0, 0x1000)
+        owner = thread(1)
+        lock.holder = owner
+        assert not lock.is_free
+
+
+class TestBarrierState:
+    def test_last_arrival_releases(self):
+        barrier = BarrierState(0, 0x100, 0x140, n_parties=3)
+        assert not barrier.arrive()
+        assert not barrier.arrive()
+        assert barrier.arrive()
+        assert barrier.generation == 1
+        assert barrier.arrived == 0
+
+    def test_single_party_always_releases(self):
+        barrier = BarrierState(0, 0x100, 0x140, n_parties=1)
+        assert barrier.arrive()
+        assert barrier.arrive()
+        assert barrier.generation == 2
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(ValueError):
+            BarrierState(0, 0x100, 0x140, n_parties=0)
+
+
+class TestSyncManager:
+    def test_lazy_creation_and_identity(self):
+        manager = SyncManager(4)
+        lock = manager.lock(3)
+        assert manager.lock(3) is lock
+        barrier = manager.barrier(0)
+        assert manager.barrier(0) is barrier
+        assert barrier.n_parties == 4
+
+    def test_distinct_cache_lines(self):
+        manager = SyncManager(2)
+        addrs = [
+            manager.lock(0).addr,
+            manager.lock(1).addr,
+            manager.barrier(0).count_addr,
+            manager.barrier(0).gen_addr,
+        ]
+        lines = {a // 64 for a in addrs}
+        assert len(lines) == len(addrs)
+
+    def test_addresses_in_reserved_region(self):
+        manager = SyncManager(2)
+        assert manager.lock(0).addr >= SYNC_REGION_BASE
+
+    def test_fifo_policy_propagates(self):
+        manager = SyncManager(2, lock_fifo_handoff=True)
+        assert manager.lock(0).fifo_handoff
+
+
+class TestSyntheticPcs:
+    def test_acquire_test_load_shares_spin_pc(self):
+        """Test-and-test-and-set: the acquire's test load IS the spin
+        loop load, so the Tian detector sees one continuous stream."""
+        assert PC_LOCK_TEST == PC_LOCK_SPIN_LOAD

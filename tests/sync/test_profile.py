@@ -1,0 +1,108 @@
+"""Lock/barrier contention profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.sim.engine import simulate
+from repro.sync.profile import (
+    barrier_profiles,
+    lock_profiles,
+    render_sync_profile,
+)
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    LockAcquire,
+    LockRelease,
+    Program,
+)
+
+from tests.conftest import compute_only_program, lock_step_program
+
+
+class TestLockProfiles:
+    def test_counts_and_ordering(self, machine4):
+        def body(tid):
+            for k in range(20):
+                # lock 0 heavily contended, lock 1 rarely used
+                yield LockAcquire(0)
+                yield Compute(400)
+                yield LockRelease(0)
+                if tid == 0 and k % 10 == 0:
+                    yield LockAcquire(1)
+                    yield Compute(10)
+                    yield LockRelease(1)
+
+        result = simulate(machine4, Program("p", [body(t) for t in range(4)]))
+        profiles = lock_profiles(result)
+        assert profiles[0].lock_id == 0  # most waited-on first
+        assert profiles[0].n_acquires == 80
+        assert profiles[0].total_wait_cycles > 0
+        by_id = {p.lock_id: p for p in profiles}
+        assert by_id[1].n_contended == 0
+        assert by_id[1].total_wait_cycles == 0
+
+    def test_contention_rate_bounds(self, machine4):
+        result = simulate(machine4, lock_step_program(4, iters=30))
+        for profile in lock_profiles(result):
+            assert 0.0 <= profile.contention_rate <= 1.0
+            assert 0.0 <= profile.utilization <= 1.0
+
+    def test_hold_time_positive(self, machine4):
+        result = simulate(machine4, lock_step_program(4, iters=10))
+        profile = lock_profiles(result)[0]
+        assert profile.mean_hold_cycles > 0
+        # CS body is 80 instrs (~20 cycles) plus a store
+        assert profile.mean_hold_cycles < 500
+
+    def test_uncontended_single_thread(self, machine1):
+        result = simulate(machine1, lock_step_program(1, iters=10))
+        profile = lock_profiles(result)[0]
+        assert profile.n_contended == 0
+        assert profile.total_wait_cycles == 0
+        assert profile.mean_wait_cycles == 0.0
+
+    def test_wait_dominates_for_serial_program(self, machine4):
+        """A fully serialized program spends most cycles waiting."""
+        def body(tid):
+            for __ in range(15):
+                yield LockAcquire(0)
+                yield Compute(2000)
+                yield LockRelease(0)
+
+        result = simulate(machine4, Program("s", [body(t) for t in range(4)]))
+        profile = lock_profiles(result)[0]
+        assert profile.utilization > 0.6
+        assert profile.total_wait_cycles > result.total_cycles
+
+
+class TestBarrierProfiles:
+    def test_episode_counts(self, machine4):
+        def body(tid):
+            for phase in range(3):
+                yield Compute(100)
+                yield BarrierWait(0)
+
+        result = simulate(machine4, Program("b", [body(t) for t in range(4)]))
+        profiles = barrier_profiles(result)
+        assert profiles[0].n_episodes == 3
+        assert profiles[0].n_parties == 4
+
+    def test_no_sync(self, machine4):
+        result = simulate(machine4, compute_only_program(4))
+        assert lock_profiles(result) == []
+        assert barrier_profiles(result) == []
+
+
+class TestRendering:
+    def test_report(self, machine4):
+        result = simulate(machine4, lock_step_program(4, iters=10))
+        text = render_sync_profile(result)
+        assert "acquires" in text
+        assert "barrier" in text
+
+    def test_report_without_sync(self, machine4):
+        result = simulate(machine4, compute_only_program(4))
+        assert "(no locks)" in render_sync_profile(result)

@@ -1,0 +1,28 @@
+"""Public API surface: everything advertised in __all__ exists."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_key_entry_points(self):
+        assert callable(repro.run_experiment)
+        assert callable(repro.build_program)
+        assert callable(repro.render_stack)
+        assert len(repro.SUITE) == 28
+
+    def test_config_round_trip(self):
+        machine = repro.MachineConfig(n_cores=8)
+        assert machine.with_cores(2).n_cores == 2
+        assert machine.with_llc_size(4 * repro.MB).llc.size_bytes == 4 * repro.MB
+        # originals untouched (frozen dataclasses)
+        assert machine.n_cores == 8
+        assert machine.llc.size_bytes == 2 * repro.MB

@@ -1,0 +1,98 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--scale", "0.05"]
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("list", "stack", "curve", "tree", "regions",
+                        "timeline", "cpi", "cost", "run-trace"):
+            assert command in text
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cholesky" in out
+        assert "ferret_small" in out
+        assert out.count("\n") == 29  # header + 28 benchmarks
+
+    def test_cost(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "952 B/core" in out
+        assert "217 B/core" in out
+
+    def test_stack(self, capsys):
+        assert main(["stack", "dedup_small", "-n", "4"] + SCALE) == 0
+        out = capsys.readouterr().out
+        assert "speedup stack: dedup_small" in out
+        assert "largest bottleneck" in out or "no significant" in out
+
+    def test_stack_with_llc_override(self, capsys):
+        assert main(
+            ["stack", "blackscholes_small", "-n", "2", "--llc-mb", "4"]
+            + SCALE
+        ) == 0
+        assert "speedup stack" in capsys.readouterr().out
+
+    def test_timeline(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main(
+            ["timeline", "lud", "-n", "4", "--width", "30",
+             "--out", str(out_file)] + SCALE
+        ) == 0
+        out = capsys.readouterr().out
+        assert "core  0" in out
+        assert "utilization" in out
+        data = json.loads(out_file.read_text())
+        assert data["traceEvents"]
+
+    def test_regions(self, capsys):
+        assert main(["regions", "lud", "-n", "4"] + SCALE) == 0
+        out = capsys.readouterr().out
+        assert "region stacks: lud" in out
+        assert "imbalance" in out
+
+    def test_regions_without_barriers(self, capsys):
+        # blackscholes has only the final barrier; use a no-barrier spec
+        # via run-trace instead: regions on blackscholes still has the
+        # final convergence barrier, so pick the error path with a
+        # custom trace-based check below; here just assert it runs.
+        assert main(["regions", "blackscholes_small", "-n", "2"] + SCALE) == 0
+
+    def test_cpi(self, capsys):
+        assert main(["cpi", "dedup_small", "-n", "4"] + SCALE) == 0
+        assert "eff.CPI" in capsys.readouterr().out
+
+    def test_curve(self, capsys):
+        assert main(["curve", "blackscholes_small"] + SCALE) == 0
+        out = capsys.readouterr().out
+        assert "16 threads" in out
+
+    def test_run_trace(self, capsys, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("T0 C 100\nT1 C 100\nT0 BAR 0\nT1 BAR 0\n")
+        assert main(["run-trace", str(path), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "2 threads on 2 cores" in out
+        assert "core  0" in out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["stack", "nope", "-n", "2"] + SCALE)

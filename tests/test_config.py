@@ -1,0 +1,107 @@
+"""Machine configuration: validation and derivation."""
+
+from __future__ import annotations
+
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.config import (
+    KB,
+    MB,
+    AccountingConfig,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    MachineConfig,
+)
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        config = CacheConfig(size_bytes=64 * KB, assoc=4)
+        assert config.n_sets == 256
+        assert config.n_lines == 1024
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=100_000, assoc=4)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64 * KB, assoc=4, line_bytes=48)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 64 * KB, assoc=4)
+
+    def test_frozen(self):
+        config = CacheConfig(size_bytes=64 * KB, assoc=4)
+        with pytest.raises(FrozenInstanceError):
+            config.assoc = 8
+
+
+class TestDramConfig:
+    def test_derived_timings(self):
+        dram = DramConfig(t_cas=40, t_rcd=60, t_rp=60)
+        assert dram.page_hit_cycles == 40
+        assert dram.page_empty_cycles == 100
+        assert dram.page_conflict_cycles == 160
+        assert dram.conflict_extra_cycles == 120
+
+    def test_rejects_odd_bank_count(self):
+        with pytest.raises(ValueError):
+            DramConfig(n_banks=6)
+
+    def test_rejects_odd_page_size(self):
+        with pytest.raises(ValueError):
+            DramConfig(page_bytes=5000)
+
+
+class TestCoreConfig:
+    def test_rob_drain(self):
+        assert CoreConfig(dispatch_width=4, rob_size=128).rob_drain_cycles == 32
+
+
+class TestAccountingConfig:
+    def test_rejects_unknown_detector(self):
+        with pytest.raises(ValueError):
+            AccountingConfig(spin_detector="magic")
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ValueError):
+            AccountingConfig(atd_sample_period=0)
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper_methodology(self):
+        machine = MachineConfig()
+        assert machine.n_cores == 16
+        assert machine.core.dispatch_width == 4        # four-wide OoO
+        assert machine.l1i.size_bytes == 32 * KB       # 32KB L1 I
+        assert machine.l1d.size_bytes == 64 * KB       # 64KB L1 D
+        assert machine.llc.size_bytes == 2 * MB        # 2MB shared LLC
+        assert machine.dram.n_banks == 8               # 8 memory banks
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_cores=0)
+
+    def test_rejects_mismatched_line_sizes(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                llc=CacheConfig(size_bytes=2 * MB, assoc=16, line_bytes=128),
+            )
+
+    def test_with_cores_preserves_rest(self):
+        machine = MachineConfig(n_cores=16)
+        derived = machine.with_cores(4)
+        assert derived.n_cores == 4
+        assert derived.llc is machine.llc
+
+    def test_with_llc_size_preserves_rest(self):
+        machine = MachineConfig()
+        derived = machine.with_llc_size(8 * MB)
+        assert derived.llc.size_bytes == 8 * MB
+        assert derived.llc.assoc == machine.llc.assoc
+        assert derived.n_cores == machine.n_cores

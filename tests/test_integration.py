@@ -1,0 +1,156 @@
+"""Cross-module integration tests: whole-system invariants.
+
+These exercise the full pipeline — workload synthesis, simulation,
+accounting, stack building — on miniature configurations, checking
+physical invariants that no single module can verify alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CycleAccountant,
+    MachineConfig,
+    Simulation,
+    build_program,
+    build_stack,
+    by_name,
+    run_experiment,
+)
+from repro.workloads.spec import BenchmarkSpec
+
+SPEC = BenchmarkSpec(
+    name="mini", total_kinstrs=80, mem_per_kinstr=80, private_ws_kb=16,
+    n_locks=1, cs_per_kinstr=0.2, cs_len_instrs=300, n_phases=2,
+    imbalance=0.3, par_overhead=0.05,
+)
+
+
+def run(n_threads: int, spec: BenchmarkSpec = SPEC):
+    machine = MachineConfig(n_cores=n_threads)
+    accountant = CycleAccountant(machine)
+    program = build_program(spec, n_threads)
+    result = Simulation(machine, program, accountant).run()
+    report = accountant.report(result)
+    return result, report
+
+
+class TestPhysicalInvariants:
+    def test_per_thread_overhead_bounded_by_wall_time(self):
+        __, report = run(4)
+        for comp in report.threads:
+            assert 0 <= comp.total_overhead <= report.tp_cycles * 1.0001
+
+    def test_components_non_negative(self):
+        __, report = run(4)
+        for comp in report.threads:
+            assert comp.negative_llc >= 0
+            assert comp.negative_memory >= 0
+            assert comp.positive_llc >= 0
+            assert comp.spinning >= 0
+            assert comp.yielding >= 0
+            assert comp.imbalance >= 0
+
+    def test_imbalance_matches_end_times(self):
+        result, report = run(4)
+        for thread in result.threads:
+            expected = result.total_cycles - thread.end_time
+            assert report.threads[thread.tid].imbalance == expected
+
+    def test_stack_segments_sum_to_n(self):
+        __, report = run(4)
+        stack = build_stack("mini", report)
+        stack.validate_consistency()
+
+    def test_accounted_yield_equals_oracle(self):
+        result, report = run(4)
+        for thread in result.threads:
+            assert report.threads[thread.tid].yielding == pytest.approx(
+                thread.gt_yield_cycles
+            )
+
+    def test_accounted_spin_close_to_oracle(self):
+        """The spin estimate (hardware detector + truncation hook) must
+        land in the same ballpark as the engine's ground truth."""
+        result, report = run(8)
+        oracle = sum(t.gt_spin_cycles for t in result.threads)
+        measured = sum(c.spinning for c in report.threads)
+        if oracle > 2000:
+            assert measured == pytest.approx(oracle, rel=0.6)
+
+    def test_busy_cycles_bounded(self):
+        result, __ = run(4)
+        for core_stats in result.chip.stats:
+            assert core_stats.busy_cycles <= result.total_cycles
+
+
+class TestScalingSanity:
+    def test_speedup_increases_with_threads(self):
+        machine1 = MachineConfig(n_cores=1)
+        ts = Simulation(machine1, build_program(SPEC, 1)).run().total_cycles
+        speedups = []
+        for n in (2, 4, 8):
+            result, __ = run(n)
+            speedups.append(ts / result.total_cycles)
+        assert speedups[0] < speedups[1] < speedups[2] + 0.5
+        assert speedups[0] > 1.0
+
+    def test_estimate_tracks_actual_across_thread_counts(self):
+        machine1 = MachineConfig(n_cores=1)
+        ts = Simulation(machine1, build_program(SPEC, 1)).run().total_cycles
+        for n in (2, 4, 8):
+            result, report = run(n)
+            actual = ts / result.total_cycles
+            error = abs(report.estimated_speedup - actual) / n
+            assert error < 0.2, f"error {error:.2%} at {n} threads"
+
+
+class TestDeterminismEndToEnd:
+    def test_identical_runs_identical_reports(self):
+        __, a = run(4)
+        __, b = run(4)
+        assert a.tp_cycles == b.tp_cycles
+        for x, y in zip(a.threads, b.threads):
+            assert x.negative_llc == y.negative_llc
+            assert x.spinning == y.spinning
+            assert x.yielding == y.yielding
+            assert x.imbalance == y.imbalance
+
+
+class TestSuiteBenchmarkSmoke:
+    @pytest.mark.parametrize(
+        "name", ["blackscholes_small", "cholesky", "ferret_small", "needle"]
+    )
+    def test_suite_benchmark_runs_scaled(self, name):
+        spec = by_name(name).scaled(0.05)
+        machine = MachineConfig(n_cores=4)
+        result = run_experiment(
+            name, machine, build_program(spec, 4), build_program(spec, 1)
+        )
+        assert result.stack.actual_speedup > 0.3
+        result.stack.validate_consistency()
+
+
+class TestLiDetectorEndToEnd:
+    def test_li_mode_detects_spin(self):
+        from dataclasses import replace
+
+        from repro.config import AccountingConfig
+
+        spec = BenchmarkSpec(
+            name="spin-heavy", total_kinstrs=60, mem_per_kinstr=20,
+            private_ws_kb=16, n_locks=1, cs_per_kinstr=2.0,
+            cs_len_instrs=150, par_overhead=0.0, spin_threshold=10_000,
+        )
+        machine = replace(
+            MachineConfig(n_cores=4),
+            accounting=AccountingConfig(spin_detector="li"),
+        )
+        accountant = CycleAccountant(machine)
+        result = Simulation(machine, build_program(spec, 4), accountant).run()
+        report = accountant.report(result)
+        oracle = sum(t.gt_spin_cycles for t in result.threads)
+        measured = sum(c.spinning for c in report.threads)
+        assert oracle > 0
+        assert measured > 0.2 * oracle

@@ -1,0 +1,134 @@
+"""Property-based fuzzing of the full simulation pipeline.
+
+Hypothesis generates small random multi-threaded programs (compute,
+loads, stores, locks, barriers) and checks system-level invariants:
+the simulation terminates, bookkeeping balances, accounting components
+stay physical, and everything is deterministic.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting.accountant import CycleAccountant
+from repro.config import MachineConfig
+from repro.core.stack import build_stack
+from repro.osmodel.thread import FINISHED
+from repro.sim.engine import Simulation
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Program,
+    Store,
+)
+
+# One action of a thread's loop body.
+_ACTION = st.sampled_from(["compute", "load", "store", "cs", "barrier"])
+
+
+@st.composite
+def programs(draw):
+    """A small random program: every thread runs the same action list
+    (so barriers always have all parties) with thread-local addresses."""
+    n_threads = draw(st.integers(min_value=1, max_value=4))
+    actions = draw(st.lists(_ACTION, min_size=1, max_size=12))
+    compute_n = draw(st.integers(min_value=1, max_value=400))
+    n_lines = draw(st.integers(min_value=1, max_value=64))
+
+    def body(tid: int):
+        barrier_id = 0
+        for index, action in enumerate(actions):
+            if action == "compute":
+                yield Compute(compute_n)
+            elif action == "load":
+                addr = 0x100_0000 + (tid << 22) + (index % n_lines) * 64
+                yield Load(addr)
+            elif action == "store":
+                addr = 0x100_0000 + (tid << 22) + (index % n_lines) * 64
+                yield Store(addr)
+            elif action == "cs":
+                yield LockAcquire(0)
+                yield Compute(50)
+                yield Store(0x9000_0000)
+                yield LockRelease(0)
+            elif action == "barrier":
+                yield BarrierWait(barrier_id)
+                barrier_id += 1
+
+    def factory() -> Program:
+        return Program("fuzz", [body(t) for t in range(n_threads)])
+
+    return factory, n_threads
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_simulation_terminates_and_balances(case):
+    factory, n_threads = case
+    program = factory()
+    machine = MachineConfig(n_cores=n_threads)
+    accountant = CycleAccountant(machine)
+    result = Simulation(machine, program, accountant).run(max_cycles=10**8)
+
+    # Termination and basic bookkeeping.
+    assert all(t.state == FINISHED for t in result.threads)
+    assert result.total_cycles == max(t.end_time for t in result.threads)
+    assert result.total_cycles >= 0
+
+    # Locks released, barriers complete.
+    for lock in result.sync.locks.values():
+        assert lock.holder is None
+        assert not lock.waiters
+    for barrier in result.sync.barriers.values():
+        assert barrier.arrived == 0
+        assert not barrier.waiters
+
+    # Accounting invariants.
+    report = accountant.report(result)
+    stack = build_stack("fuzz", report)
+    stack.validate_consistency()
+    for comp in report.threads:
+        assert comp.total_overhead >= 0
+        assert comp.total_overhead <= report.tp_cycles * 1.0001
+        assert comp.positive_llc >= 0
+
+    # Core busy time never exceeds wall time.
+    for stats in result.chip.stats:
+        assert stats.busy_cycles <= result.total_cycles
+
+
+@settings(max_examples=15, deadline=None)
+@given(programs())
+def test_simulation_deterministic(case):
+    """Two simulations of the same program are cycle-identical."""
+    factory, n_threads = case
+    machine = MachineConfig(n_cores=n_threads)
+    result_a = Simulation(machine, factory()).run(max_cycles=10**8)
+    result_b = Simulation(machine, factory()).run(max_cycles=10**8)
+    assert result_a.total_cycles == result_b.total_cycles
+    assert result_a.thread_end_times == result_b.thread_end_times
+    assert result_a.total_instrs == result_b.total_instrs
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=50, max_value=2000),
+)
+def test_oversubscription_terminates(n_cores, threads_per_core, work):
+    """Any thread/core ratio with barriers still terminates."""
+    n_threads = n_cores * threads_per_core
+
+    def body(tid: int):
+        yield Compute(work)
+        yield BarrierWait(0)
+        yield Compute(work)
+
+    machine = MachineConfig(n_cores=n_cores)
+    program = Program("over", [body(t) for t in range(n_threads)])
+    result = Simulation(machine, program).run(max_cycles=10**8)
+    assert all(t.state == FINISHED for t in result.threads)

@@ -1,0 +1,64 @@
+"""The false-sharing workload knob (Section 3.2's pathology)."""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.sim.engine import simulate
+from repro.workloads.program import Store
+from repro.workloads.spec import (
+    BenchmarkSpec,
+    FALSE_SHARING_BASE,
+    build_program,
+)
+
+
+def spec(fs: float) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name="fs", total_kinstrs=80, mem_per_kinstr=120, private_ws_kb=16,
+        store_fraction=0.4, false_sharing_fraction=fs,
+        false_sharing_lines=8, par_overhead=0.0,
+    )
+
+
+class TestGeneration:
+    def test_fs_stores_target_shared_lines_own_words(self):
+        program = build_program(spec(1.0), 4)
+        for tid, body in enumerate(program.thread_bodies):
+            fs_stores = [
+                op for op in body
+                if isinstance(op, Store) and op.addr >= FALSE_SHARING_BASE
+            ]
+            assert fs_stores, f"thread {tid} emitted no FS stores"
+            for op in fs_stores:
+                offset = op.addr - FALSE_SHARING_BASE
+                assert offset // 64 < 8          # within the hot lines
+                assert offset % 64 == (tid % 8) * 8  # own word
+
+    def test_disabled_by_default(self):
+        program = build_program(spec(0.0), 2)
+        for body in program.thread_bodies:
+            for op in body:
+                if isinstance(op, Store):
+                    assert op.addr < FALSE_SHARING_BASE
+
+
+class TestEffect:
+    def test_false_sharing_causes_coherency_misses(self):
+        machine = MachineConfig(n_cores=4)
+        clean = simulate(machine, build_program(spec(0.0), 4))
+        dirty = simulate(machine, build_program(spec(0.6), 4))
+        coherency_clean = sum(s.coherency_misses for s in clean.chip.stats)
+        coherency_dirty = sum(s.coherency_misses for s in dirty.chip.stats)
+        assert coherency_dirty > 10 * max(1, coherency_clean)
+
+    def test_false_sharing_causes_invalidations(self):
+        machine = MachineConfig(n_cores=4)
+        dirty = simulate(machine, build_program(spec(0.6), 4))
+        assert dirty.chip.directory.n_invalidations > 100
+
+    def test_single_thread_unaffected(self):
+        """One thread writing 'falsely shared' lines contends with
+        nobody: no invalidations."""
+        machine = MachineConfig(n_cores=1)
+        result = simulate(machine, build_program(spec(0.6), 1))
+        assert result.chip.directory.n_invalidations == 0

@@ -1,0 +1,107 @@
+"""The ferret-style pipeline program (Figure 7's workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.osmodel.thread import FINISHED
+from repro.sim.engine import simulate
+from repro.workloads.pipeline import _item_cost, build_pipeline_program
+from repro.workloads.program import Compute
+
+
+def run(n_threads: int, n_cores: int | None = None, **kw):
+    machine = MachineConfig(n_cores=n_cores or n_threads)
+    return simulate(machine, build_pipeline_program(n_threads, **kw))
+
+
+class TestConstruction:
+    def test_single_thread_reference(self):
+        program = build_pipeline_program(1, n_items=10)
+        assert program.n_threads == 1
+
+    def test_multi_thread_layout(self):
+        program = build_pipeline_program(5, n_items=20)
+        assert program.n_threads == 5  # 1 serial stage + 4 workers
+        assert program.warmup is not None
+        assert len(program.warmup) == 5
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            build_pipeline_program(0)
+
+    def test_items_divided_across_workers(self):
+        """All items are produced exactly once regardless of workers."""
+        for n_threads in (2, 3, 5, 16):
+            result = run(n_threads, n_cores=4, n_items=21,
+                         serial_instrs=200, work_instrs=400)
+            assert all(t.state == FINISHED for t in result.threads)
+
+
+class TestConservation:
+    def test_total_serial_work_constant(self):
+        """The serial stage processes every item exactly once."""
+        result = run(4, n_items=12, serial_instrs=500, work_instrs=400)
+        serial = result.threads[0]
+        # 12 items x 500 serial instructions, plus queue plumbing
+        assert serial.instrs >= 12 * 500
+        assert serial.instrs < 12 * 500 + 12 * 400
+
+    def test_reference_does_same_item_work(self):
+        mt = run(4, n_items=12, serial_instrs=500, work_instrs=900)
+        st = run(1, n_items=12, serial_instrs=500, work_instrs=900)
+        mt_work = mt.total_instrs - mt.total_spin_instrs
+        st_work = st.total_instrs
+        # pipeline plumbing (polling, locks, futexes) adds some, but the
+        # item work is identical
+        assert st_work <= mt_work < st_work * 1.6
+
+
+class TestItemCosts:
+    def test_heterogeneous_costs(self):
+        heavy = _item_cost(0, 99, 1000)
+        light = _item_cost(98, 99, 1000)
+        assert heavy > 2 * light
+
+    def test_mean_cost_near_nominal(self):
+        n = 99
+        total = sum(_item_cost(k, n, 1000) for k in range(n))
+        assert total / n == pytest.approx(1000, rel=0.05)
+
+
+class TestPipelineBehaviour:
+    def test_bounded_queue_respected(self):
+        """Producers cannot run ahead more than the queue bound."""
+        import repro.workloads.pipeline as pl
+
+        queue_sizes = []
+        orig = pl._Queue.__init__
+
+        class SpyQueue(pl._Queue):
+            pass
+
+        result = run(6, n_cores=6, n_items=30, queue_bound=4,
+                     serial_instrs=2000, work_instrs=200)
+        assert all(t.state == FINISHED for t in result.threads)
+        # Workers finish early (cheap items) and block on the full
+        # queue: the serial stage ends last.
+        serial_end = result.threads[0].end_time
+        assert serial_end == result.total_cycles
+
+    def test_oversubscription_beats_few_threads_with_skewed_items(self):
+        """The Figure 7 effect at miniature scale: 8 threads on 4 cores
+        beat 4 threads on 4 cores when item costs are heterogeneous."""
+        st = run(1, n_items=45, serial_instrs=2000, work_instrs=4000)
+        matched = run(4, n_cores=4, n_items=45, serial_instrs=2000,
+                      work_instrs=4000)
+        oversub = run(8, n_cores=4, n_items=45, serial_instrs=2000,
+                      work_instrs=4000)
+        s_matched = st.total_cycles / matched.total_cycles
+        s_oversub = st.total_cycles / oversub.total_cycles
+        assert s_oversub > s_matched * 0.98
+
+    def test_determinism(self):
+        a = run(4, n_items=15, serial_instrs=300, work_instrs=600)
+        b = run(4, n_items=15, serial_instrs=300, work_instrs=600)
+        assert a.total_cycles == b.total_cycles

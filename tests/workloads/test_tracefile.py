@@ -1,0 +1,117 @@
+"""Trace-file workload format: parsing, serialization, round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import ConfigError
+from repro.osmodel.thread import FINISHED
+from repro.sim.engine import simulate
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    FutexWait,
+    FutexWake,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Store,
+    YieldCpu,
+)
+from repro.workloads.tracefile import (
+    dump_program,
+    dump_trace,
+    load_trace,
+    parse_trace,
+)
+
+TRACE = """
+# a two-thread demo trace
+T0 C 100
+T0 L 0x10000
+T0 ACQ 0
+T0 S 0x20000
+T0 REL 0
+T0 BAR 0
+
+T1 C 200
+T1 L 0x30000 dep
+T1 ACQ 0
+T1 S 0x20040
+T1 REL 0
+T1 BAR 0
+"""
+
+
+class TestParse:
+    def test_parse_structure(self):
+        program = parse_trace(TRACE)
+        assert program.n_threads == 2
+        ops = list(program.thread_bodies[0])
+        assert isinstance(ops[0], Compute) and ops[0].n == 100
+        assert isinstance(ops[1], Load) and ops[1].addr == 0x10000
+        assert isinstance(ops[2], LockAcquire)
+        assert isinstance(ops[5], BarrierWait)
+
+    def test_flags(self):
+        program = parse_trace("T0 L 0x10 dep\nT0 L 0x20 noov\nT0 L 0x30")
+        loads = list(program.thread_bodies[0])
+        assert loads[0].dependent and not loads[0].overlappable
+        assert not loads[1].dependent and not loads[1].overlappable
+        assert loads[2].overlappable
+
+    def test_futex_and_yield(self):
+        program = parse_trace(
+            "T0 FWAIT 0x100\nT1 FWAKE 0x100 all\nT1 YIELD"
+        )
+        t1 = list(program.thread_bodies[1])
+        assert isinstance(t1[0], FutexWake) and t1[0].wake_all
+        assert isinstance(t1[1], YieldCpu)
+
+    def test_missing_thread_gets_empty_body(self):
+        program = parse_trace("T0 C 10\nT2 C 10")
+        assert program.n_threads == 3
+        assert list(program.thread_bodies[1]) == []
+
+    def test_runnable(self):
+        result = simulate(MachineConfig(n_cores=2), parse_trace(TRACE))
+        assert all(t.state == FINISHED for t in result.threads)
+        assert result.sync.locks[0].n_acquires == 2
+
+    @pytest.mark.parametrize("bad", [
+        "",                      # empty
+        "X0 C 10",               # bad thread token
+        "T0",                    # missing op
+        "T0 C",                  # missing count
+        "T0 C 0",                # zero compute
+        "T0 C ten",              # bad integer
+        "T0 L 0x10 wat",         # unknown flag
+        "T0 FROB 1",             # unknown op
+        "T-1 C 10",              # negative tid
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            parse_trace(bad)
+
+
+class TestDump:
+    def test_round_trip(self):
+        ops = [
+            [Compute(5), Load(0x40, dependent=True), Store(0x80),
+             LockAcquire(1), LockRelease(1), BarrierWait(0), YieldCpu(),
+             FutexWait(0x100)],
+            [Compute(7), Load(0x40, overlappable=False),
+             FutexWake(0x100, wake_all=True), BarrierWait(0)],
+        ]
+        text = dump_trace(ops)
+        program = parse_trace(text)
+        again = dump_program(program)
+        assert again == text
+
+    def test_load_trace_from_file(self, tmp_path):
+        path = tmp_path / "demo.trace"
+        path.write_text(TRACE)
+        program = load_trace(str(path))
+        assert program.n_threads == 2
+        assert program.name == str(path)

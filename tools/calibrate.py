@@ -1,0 +1,71 @@
+"""Calibration harness: compare the suite against its Figure 6 targets.
+
+Run:  python tools/calibrate.py [name ...]
+
+For every benchmark (or just the named ones) this runs the reference
+and the 16-thread accounted simulation, then prints target vs achieved
+speedup, the estimation error, and expected vs achieved top components.
+Used during development to tune the suite's knobs; the shipped
+regression bench is benchmarks/test_fig6_classification.py.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.config import MachineConfig
+from repro.core.components import TREE_LABELS
+from repro.experiments.runner import run_experiment
+from repro.workloads.spec import build_program
+from repro.workloads.suite import SUITE
+
+SIGNIFICANCE = 0.35  # speedup units below which a component is noise
+
+
+def top_components(stack, k=3):
+    ranked = stack.ranked_delimiters(SIGNIFICANCE)
+    out = []
+    for comp, _ in ranked[:k]:
+        label = TREE_LABELS.get(comp)
+        if label and label != "imbalance":
+            out.append(label)
+    return tuple(out)
+
+
+def main(names: list[str]) -> None:
+    machine = MachineConfig(n_cores=16)
+    total_err = 0.0
+    n_run = 0
+    for spec in SUITE:
+        if names and spec.full_name not in names:
+            continue
+        t0 = time.time()
+        result = run_experiment(
+            spec.full_name, machine,
+            build_program(spec, 16), build_program(spec, 1),
+        )
+        stack = result.stack
+        achieved = top_components(stack)
+        err = stack.estimation_error * 100
+        total_err += abs(err)
+        n_run += 1
+        delim = {
+            TREE_LABELS[c]: round(v, 2)
+            for c, v in stack.delimiters().items()
+            if abs(v) > 0.2
+        }
+        ok_s = "OK " if abs(stack.actual_speedup - spec.target_speedup_16) < 0.8 else "TUNE"
+        ok_c = "OK " if achieved[:len(spec.expected_top)] == spec.expected_top or achieved == spec.expected_top else "COMP"
+        print(
+            f"{spec.full_name:22s} S={stack.actual_speedup:5.2f} "
+            f"(tgt {spec.target_speedup_16:5.2f}) {ok_s} "
+            f"err={err:+5.1f}% top={achieved} exp={spec.expected_top} {ok_c} "
+            f"pos={stack.positive_llc:.2f} {delim} [{time.time()-t0:.0f}s]"
+        )
+    if n_run:
+        print(f"\nmean |err| = {total_err / n_run:.2f}%  over {n_run} benchmarks")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
