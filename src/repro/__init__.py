@@ -79,7 +79,15 @@ from repro.core.validation import (
     mean_absolute_error,
     validation_row,
 )
-from repro.errors import ConfigError, DeadlockError, ReproError, SimulationError
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    ExperimentError,
+    LivelockError,
+    ReproError,
+    SimulationError,
+    TraceParseError,
+)
 from repro.experiments.multiprogram import (
     MultiProgramResult,
     ProgramSlowdown,
@@ -93,10 +101,21 @@ from repro.experiments.perthread import (
     validate_per_thread,
 )
 from repro.experiments.runner import (
+    BatchRunner,
+    CellOutcome,
     ExperimentResult,
+    RunPolicy,
+    SweepReport,
     run_accounted,
     run_experiment,
     run_reference,
+)
+from repro.robustness import (
+    EngineSnapshot,
+    FaultInjector,
+    SweepJournal,
+    capture_snapshot,
+    make_fault,
 )
 from repro.experiments.scenarios import (
     ExperimentCache,
@@ -138,115 +157,134 @@ from repro.workloads.tracefile import (
     parse_trace,
 )
 from repro.workloads.spec import BenchmarkSpec, build_program
-from repro.workloads.suite import FIG5_BENCHMARKS, FIG8_BENCHMARKS, SUITE, by_name
+from repro.workloads.suite import (
+    FIG5_BENCHMARKS,
+    FIG8_BENCHMARKS,
+    SUITE,
+    by_name,
+    sweep_cells,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AccountingConfig",
     "AccountingReport",
+    "advice",
+    "barrier_profiles",
     "BarrierProfile",
     "BarrierWait",
+    "BatchRunner",
     "BenchmarkSpec",
+    "build_pipeline_program",
+    "build_program",
+    "build_stack",
+    "by_name",
     "CacheConfig",
+    "capture_snapshot",
+    "CellOutcome",
+    "classification_tree",
     "ClassificationTree",
     "ClassifiedBenchmark",
+    "classify_stack",
     "Component",
     "Compute",
     "ConfigError",
     "CoreConfig",
+    "cpi_stacks",
     "CpiStack",
     "CycleAccountant",
     "DeadlockError",
     "DramConfig",
+    "dump_program",
+    "dump_trace",
+    "EngineSnapshot",
+    "equal_quotas",
+    "errors_by_thread_count",
+    "estimate_cost",
     "ExperimentCache",
+    "ExperimentError",
     "ExperimentResult",
+    "FaultInjector",
+    "ferret_core_sweep",
     "FIG5_BENCHMARKS",
     "FIG8_BENCHMARKS",
     "FutexWait",
     "FutexWake",
     "HardwareCost",
     "HardwareCostParams",
+    "interference_breakdown",
     "KB",
+    "LivelockError",
+    "llc_interference",
+    "llc_size_sweep",
     "LlcInterference",
     "Load",
-    "LockProfile",
+    "load_trace",
+    "lock_profiles",
     "LockAcquire",
+    "LockProfile",
     "LockRelease",
-    "MB",
     "MachineConfig",
+    "make_fault",
+    "MB",
+    "mean_absolute_error",
     "MultiProgramResult",
     "Opportunity",
+    "optimization_opportunities",
+    "parse_trace",
     "PerThreadValidation",
     "Program",
     "ProgramSlowdown",
+    "project",
     "Projection",
     "Region",
+    "region_stacks",
     "RegionObserver",
     "RegionResult",
-    "ReproError",
-    "RunInterval",
-    "SchedConfig",
-    "SimResult",
-    "Simulation",
-    "SimulationError",
-    "SpeedupStack",
-    "STACK_ORDER",
-    "Store",
-    "SUITE",
-    "SyncConfig",
-    "ThreadComponents",
-    "ThreadValidation",
-    "TraceRecorder",
-    "ValidationRow",
-    "WayPartitionedCache",
-    "YieldCpu",
-    "advice",
-    "barrier_profiles",
-    "build_pipeline_program",
-    "build_program",
-    "build_stack",
-    "by_name",
-    "classification_tree",
-    "classify_stack",
-    "cpi_stacks",
-    "dump_program",
-    "dump_trace",
-    "equal_quotas",
-    "errors_by_thread_count",
-    "estimate_cost",
-    "ferret_core_sweep",
-    "interference_breakdown",
-    "llc_interference",
-    "llc_size_sweep",
-    "load_trace",
-    "lock_profiles",
-    "mean_absolute_error",
-    "optimization_opportunities",
-    "parse_trace",
-    "project",
-    "region_stacks",
     "remove_component",
     "render_cpi_stacks",
+    "render_interference",
     "render_multiprogram",
     "render_per_thread",
-    "render_sync_profile",
-    "render_interference",
     "render_speedup_curve",
     "render_stack",
     "render_stack_series",
+    "render_sync_profile",
     "render_tree",
     "render_validation_table",
+    "ReproError",
     "run_accounted",
     "run_experiment",
-    "run_reference",
     "run_multiprogram",
+    "run_reference",
     "run_region_experiment",
+    "RunInterval",
+    "RunPolicy",
     "scaling_class",
+    "SchedConfig",
+    "SimResult",
     "simulate",
+    "Simulation",
+    "SimulationError",
     "speedup_curves",
-    "validate_per_thread",
+    "SpeedupStack",
+    "STACK_ORDER",
     "stack_series",
+    "Store",
+    "SUITE",
+    "sweep_cells",
+    "SweepJournal",
+    "SweepReport",
+    "SyncConfig",
+    "ThreadComponents",
+    "ThreadValidation",
+    "TraceParseError",
+    "TraceRecorder",
+    "validate_per_thread",
     "validation_row",
     "validation_sweep",
+    "ValidationRow",
+    "WayPartitionedCache",
+    "YieldCpu",
 ]

@@ -276,4 +276,5 @@ class CycleAccountant:
             tp_cycles=tp,
             threads=threads,
             cores=cores,
+            truncated=getattr(sim_result, "truncated", False),
         )

@@ -121,6 +121,9 @@ class AccountingReport:
     tp_cycles: int
     threads: list[ThreadComponents]
     cores: list[CoreRawCounters] = field(default_factory=list)
+    #: True when the underlying run was cut short by the watchdog; the
+    #: components then describe the partial run up to the cut point
+    truncated: bool = False
 
     def component_totals(self) -> dict[str, float]:
         """Aggregate each component across threads (numerators of Eq. 4)."""

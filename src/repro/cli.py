@@ -12,11 +12,16 @@ Commands:
 * ``sync``      — per-lock contention profile
 * ``cost``      — accounting hardware cost (Section 4.7)
 * ``run-trace`` — simulate a text op-trace file
+* ``sweep``     — hardened suite sweep (journal, retries, fault injection)
+
+Global flags: ``-v``/``-vv`` raise the stdlib-logging verbosity to
+INFO/DEBUG (they go before the subcommand, e.g. ``repro -v sweep ...``).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from repro.accounting.hardware_cost import estimate_cost
@@ -30,18 +35,28 @@ from repro.core.rendering import (
     render_tree,
 )
 from repro.core.whatif import advice
-from repro.experiments.runner import run_experiment
+from repro.errors import ConfigError, TraceParseError
+from repro.experiments.runner import (
+    BatchRunner,
+    ON_ERROR_MODES,
+    RunPolicy,
+    run_experiment,
+)
 from repro.experiments.scenarios import (
     ExperimentCache,
     classification_tree,
     speedup_curves,
 )
+from repro.robustness.faults import FAULT_KINDS, make_fault
+from repro.robustness.journal import SweepJournal
 from repro.sim.engine import Simulation
 from repro.sim.trace import TraceRecorder
 from repro.sync.profile import render_sync_profile
 from repro.workloads.spec import build_program
-from repro.workloads.suite import SUITE, by_name
+from repro.workloads.suite import SUITE, by_name, sweep_cells
 from repro.workloads.tracefile import load_trace
+
+logger = logging.getLogger(__name__)
 
 
 def _machine(args) -> MachineConfig:
@@ -161,14 +176,83 @@ def cmd_cost(args) -> int:
 
 
 def cmd_run_trace(args) -> int:
-    program = load_trace(args.path)
+    try:
+        program = load_trace(args.path)
+    except TraceParseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     machine = MachineConfig(n_cores=args.threads or program.n_threads)
     trace = TraceRecorder() if args.timeline else None
-    result = Simulation(machine, program, trace=trace).run()
+    result = Simulation(machine, program, trace=trace).run(
+        max_cycles=args.max_cycles,
+        on_timeout="truncate" if args.max_cycles is not None else "raise",
+    )
+    truncated = " (TRUNCATED at max-cycles)" if result.truncated else ""
     print(f"{program.n_threads} threads on {machine.n_cores} cores: "
-          f"{result.total_cycles} cycles, {result.total_instrs} instructions")
+          f"{result.total_cycles} cycles, {result.total_instrs} "
+          f"instructions{truncated}")
     if trace is not None:
         print(trace.render_timeline(machine.n_cores))
+    return 0
+
+
+def _parse_injections(specs: list[str] | None) -> dict:
+    """``--inject KIND@BENCH:N`` -> fault plan {cell key: CellFault}."""
+    plan = {}
+    for item in specs or ():
+        try:
+            kind, cell = item.split("@", 1)
+            name, n_txt = cell.rsplit(":", 1)
+            int(n_txt)
+        except ValueError:
+            raise ConfigError(
+                f"bad --inject {item!r}; expected KIND@BENCH:N, e.g. "
+                f"deadlock@cholesky:16"
+            ) from None
+        plan[f"{name}:{n_txt}"] = make_fault(kind)
+    return plan
+
+
+def cmd_sweep(args) -> int:
+    benchmarks = (
+        tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    )
+    thread_counts = tuple(int(n) for n in str(args.threads).split(","))
+    cells = sweep_cells(benchmarks, thread_counts)
+    policy = RunPolicy(
+        on_error=args.on_error,
+        max_retries=args.retries,
+        backoff_s=args.backoff,
+        max_cycles=args.max_cycles,
+        livelock_window=args.livelock_window,
+    )
+    runner = BatchRunner(
+        policy=policy,
+        scale=args.scale,
+        journal=SweepJournal(args.journal),
+        fault_plan=_parse_injections(args.inject),
+    )
+    report = runner.run_sweep(cells, resume=args.resume)
+    for outcome in report.outcomes:
+        if outcome.status == "ok":
+            result = outcome.result
+            flag = (
+                " [truncated]" if result.mt_result.truncated else ""
+            )
+            speedup = result.stack.actual_speedup
+            speedup_txt = f"{speedup:6.2f}" if speedup is not None else "   n/a"
+            print(f"  ok      {outcome.key:<28s} speedup {speedup_txt}{flag}")
+        elif outcome.status == "resumed":
+            print(f"  resumed {outcome.key:<28s} (journal: already ok)")
+        else:
+            print(f"  FAILED  {outcome.key:<28s} {outcome.error_type}: "
+                  f"{outcome.error}")
+    print(f"{len(report.completed)} ok, {len(report.resumed)} resumed, "
+          f"{len(report.failures)} failed")
+    if not report.ok:
+        print()
+        print(report.render_failure_report())
+        return 1
     return 0
 
 
@@ -176,6 +260,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Speedup stacks (ISPASS 2012) — simulator & analysis",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v: INFO logging, -vv: DEBUG (place before the subcommand)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -232,13 +320,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--threads", type=int, default=None,
                    help="cores (default: one per trace thread)")
     p.add_argument("--timeline", action="store_true")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="truncate (don't crash) past this simulated time")
     p.set_defaults(func=cmd_run_trace)
+
+    p = sub.add_parser(
+        "sweep",
+        help="hardened suite sweep: journal, retries, fault injection",
+    )
+    p.add_argument("--benchmarks", default=None,
+                   help="comma-separated full names (default: whole suite)")
+    p.add_argument("-n", "--threads", default="16",
+                   help="comma-separated thread counts (default 16)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale factor")
+    p.add_argument("--journal", default=None,
+                   help="checkpoint journal JSON path (enables --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells the journal already records as ok")
+    p.add_argument("--on-error", choices=ON_ERROR_MODES, default="skip",
+                   help="failing cell policy (default: skip)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts per cell with --on-error retry")
+    p.add_argument("--backoff", type=float, default=0.0,
+                   help="initial retry backoff in seconds")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="watchdog: truncate runs past this simulated time")
+    p.add_argument("--livelock-window", type=int, default=None,
+                   help="watchdog: truncate after this many cycles without "
+                        "forward progress")
+    p.add_argument("--inject", action="append", metavar="KIND@BENCH:N",
+                   help=f"inject a fault into one cell; KIND is one of "
+                        f"{', '.join(FAULT_KINDS)} (repeatable)")
+    p.set_defaults(func=cmd_sweep)
 
     return parser
 
 
+def _configure_logging(verbosity: int) -> None:
+    level = (
+        logging.WARNING if verbosity <= 0
+        else logging.INFO if verbosity == 1
+        else logging.DEBUG
+    )
+    logging.basicConfig(
+        level=level,
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     return args.func(args)
 
 

@@ -34,7 +34,8 @@ def _bar(value: float, scale: float, width: int) -> str:
 
 def render_stack(stack: SpeedupStack, width: int = 40) -> str:
     """One speedup stack as labelled horizontal segments (Figure 2)."""
-    lines = [f"speedup stack: {stack.name}  (N = {stack.n_threads})"]
+    tag = "  [TRUNCATED RUN]" if stack.truncated else ""
+    lines = [f"speedup stack: {stack.name}  (N = {stack.n_threads}){tag}"]
     if stack.actual_speedup is not None:
         lines.append(
             f"  actual speedup    {stack.actual_speedup:6.2f}   "

@@ -39,6 +39,9 @@ class SpeedupStack:
     actual_speedup: float | None = None
     #: measured single-threaded cycles, when available
     ts_cycles: int | None = None
+    #: True when the accounted run was watchdog-truncated: the stack
+    #: describes the partial run and must be interpreted with care
+    truncated: bool = False
 
     # ------------------------------------------------------------------
     # derived quantities (Section 2)
@@ -156,4 +159,5 @@ def build_stack(
         coherency=totals["coherency"] / tp,
         actual_speedup=actual,
         ts_cycles=ts_cycles,
+        truncated=getattr(report, "truncated", False),
     )

@@ -1,4 +1,23 @@
-"""Exception types for the repro package."""
+"""Exception types for the repro package.
+
+The taxonomy (documented in ``docs/architecture.md``):
+
+* :class:`ReproError` — root of everything this package raises on purpose;
+* :class:`SimulationError` — inconsistent simulator state, optionally
+  carrying an :class:`~repro.robustness.snapshot.EngineSnapshot` of the
+  engine at the moment of failure (``.snapshot``) for post-mortem;
+
+  * :class:`DeadlockError` — all unfinished threads are blocked;
+  * :class:`LivelockError` — the watchdog saw no forward progress;
+
+* :class:`ConfigError` — invalid machine or workload configuration;
+
+  * :class:`TraceParseError` — malformed trace file, carrying the
+    source name and line number;
+
+* :class:`ExperimentError` — a (benchmark, thread-count) experiment
+  cell failed; wraps the underlying error as ``__cause__``.
+"""
 
 from __future__ import annotations
 
@@ -8,12 +27,57 @@ class ReproError(Exception):
 
 
 class SimulationError(ReproError):
-    """Inconsistent simulator state (e.g. releasing an unheld lock)."""
+    """Inconsistent simulator state (e.g. releasing an unheld lock).
+
+    ``snapshot`` (when not ``None``) is an
+    :class:`~repro.robustness.snapshot.EngineSnapshot` captured at the
+    moment the error was raised.
+    """
+
+    #: engine-state snapshot attached at the raise site (may stay None)
+    snapshot = None
 
 
 class DeadlockError(SimulationError):
     """All unfinished threads are blocked and nothing can wake them."""
 
 
+class LivelockError(SimulationError):
+    """The watchdog observed no forward progress (e.g. threads spinning
+    forever on a lock whose holder will never release it)."""
+
+
 class ConfigError(ReproError):
     """Invalid machine or workload configuration."""
+
+
+class TraceParseError(ConfigError):
+    """Malformed line in a trace file.
+
+    Carries the trace's source name (file path or logical name) and the
+    1-based line number so batch tooling can point at the exact input.
+    """
+
+    def __init__(
+        self, message: str, source: str = "trace", line_no: int | None = None
+    ) -> None:
+        self.source = source
+        self.line_no = line_no
+        where = source if line_no is None else f"{source}:{line_no}"
+        super().__init__(f"{where}: {message}")
+
+
+class ExperimentError(ReproError):
+    """One (benchmark, thread-count) experiment cell failed.
+
+    Raised by the batch runner in ``--on-error abort`` mode; the
+    underlying failure is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self, benchmark: str, n_threads: int, message: str | None = None
+    ) -> None:
+        self.benchmark = benchmark
+        self.n_threads = n_threads
+        detail = f": {message}" if message else ""
+        super().__init__(f"experiment {benchmark}:{n_threads} failed{detail}")

@@ -13,18 +13,33 @@ The paper's measurement protocol (Sections 2 and 6):
 The runner also measures the dynamic-instruction-count increase of the
 multi-threaded run over the single-threaded run minus spin instructions,
 the paper's proxy for parallelization overhead (Section 6).
+
+On top of the single-cell protocol sits the *hardened batch runner*
+(:class:`BatchRunner`): per-cell isolation, retry-with-backoff,
+checkpoint/resume through a :class:`~repro.robustness.journal.SweepJournal`,
+watchdog-truncated partial results, and a failure-report aggregator —
+one bad (benchmark, N) cell never kills a sweep.  See
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+import time
+from dataclasses import dataclass, field
 
 from repro.accounting.accountant import CycleAccountant
 from repro.accounting.report import AccountingReport
 from repro.config import MachineConfig
 from repro.core.stack import SpeedupStack, build_stack
+from repro.errors import ExperimentError, ReproError
+from repro.robustness.faults import CellFault
+from repro.robustness.journal import SweepJournal
 from repro.sim.engine import SimResult, Simulation
 from repro.workloads.program import Program
+from repro.workloads.spec import BenchmarkSpec, build_program
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -61,15 +76,33 @@ class ExperimentResult:
 
 
 def run_accounted(
-    machine: MachineConfig, program: Program
+    machine: MachineConfig,
+    program: Program,
+    max_cycles: int | None = None,
+    livelock_window: int | None = None,
+    on_timeout: str = "raise",
 ) -> tuple[SimResult, AccountingReport]:
-    """One multi-threaded run with the accounting hardware attached."""
+    """One multi-threaded run with the accounting hardware attached.
+
+    With ``on_timeout="truncate"`` a watchdog-cut run still yields a
+    (flagged) report — the partial-run speedup stack.
+    """
     accountant = CycleAccountant(machine)
-    result = Simulation(machine, program, accountant).run()
+    result = Simulation(machine, program, accountant).run(
+        max_cycles=max_cycles,
+        livelock_window=livelock_window,
+        on_timeout=on_timeout,
+    )
     return result, accountant.report(result)
 
 
-def run_reference(machine: MachineConfig, program: Program) -> SimResult:
+def run_reference(
+    machine: MachineConfig,
+    program: Program,
+    max_cycles: int | None = None,
+    livelock_window: int | None = None,
+    on_timeout: str = "raise",
+) -> SimResult:
     """Single-threaded reference run of a one-thread program on one core
     of the same machine (no accounting hardware needed)."""
     if program.n_threads != 1:
@@ -77,7 +110,11 @@ def run_reference(machine: MachineConfig, program: Program) -> SimResult:
             "reference run expects the single-threaded program variant"
         )
     single_core = machine.with_cores(1)
-    return Simulation(single_core, program).run()
+    return Simulation(single_core, program).run(
+        max_cycles=max_cycles,
+        livelock_window=livelock_window,
+        on_timeout=on_timeout,
+    )
 
 
 def run_experiment(
@@ -85,14 +122,27 @@ def run_experiment(
     machine: MachineConfig,
     mt_program: Program,
     st_program: Program | None = None,
+    max_cycles: int | None = None,
+    livelock_window: int | None = None,
+    on_timeout: str = "raise",
 ) -> ExperimentResult:
     """Full protocol: (optional) reference run, accounted run, stack."""
     st_result = None
     ts = None
     if st_program is not None:
-        st_result = run_reference(machine, st_program)
-        ts = st_result.total_cycles
-    mt_result, report = run_accounted(machine, mt_program)
+        st_result = run_reference(
+            machine, st_program,
+            max_cycles=max_cycles,
+            livelock_window=livelock_window,
+            on_timeout=on_timeout,
+        )
+        ts = None if st_result.truncated else st_result.total_cycles
+    mt_result, report = run_accounted(
+        machine, mt_program,
+        max_cycles=max_cycles,
+        livelock_window=livelock_window,
+        on_timeout=on_timeout,
+    )
     stack = build_stack(name, report, ts_cycles=ts)
     return ExperimentResult(
         name=name,
@@ -103,3 +153,292 @@ def run_experiment(
         mt_result=mt_result,
         st_result=st_result,
     )
+
+
+# ----------------------------------------------------------------------
+# hardened batch runner
+# ----------------------------------------------------------------------
+
+#: valid ``--on-error`` policies
+ON_ERROR_MODES = ("abort", "skip", "retry")
+
+CELL_OK = "ok"
+CELL_FAILED = "failed"
+#: cell skipped because the journal says it already succeeded
+CELL_RESUMED = "resumed"
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """How the batch runner reacts to failing cells.
+
+    ``on_error``:
+
+    * ``"abort"`` — re-raise as :class:`~repro.errors.ExperimentError`
+      (old behaviour: first failure kills the sweep);
+    * ``"skip"``  — record the failure and move on (default);
+    * ``"retry"`` — re-run the cell up to ``max_retries`` extra times
+      with exponential backoff, then record the failure and move on.
+
+    ``max_cycles`` / ``livelock_window`` arm the engine watchdog for
+    every run of the sweep; watchdog hits *truncate* (flagged partial
+    results) rather than fail.
+    """
+
+    on_error: str = "skip"
+    max_retries: int = 2
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    max_cycles: int | None = None
+    livelock_window: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}: {self.on_error!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one (benchmark, N) cell of a sweep."""
+
+    name: str
+    n_threads: int
+    status: str
+    attempts: int = 0
+    result: ExperimentResult | None = None
+    error: str | None = None
+    error_type: str | None = None
+    #: engine post-mortem (plain dict) when the failure carried one
+    snapshot: dict | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:{self.n_threads}"
+
+
+@dataclass
+class SweepReport:
+    """Aggregated outcome of a whole sweep."""
+
+    outcomes: list[CellOutcome] = field(default_factory=list)
+
+    @property
+    def completed(self) -> list[CellOutcome]:
+        return [o for o in self.outcomes if o.status == CELL_OK]
+
+    @property
+    def resumed(self) -> list[CellOutcome]:
+        return [o for o in self.outcomes if o.status == CELL_RESUMED]
+
+    @property
+    def failures(self) -> list[CellOutcome]:
+        return [o for o in self.outcomes if o.status == CELL_FAILED]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render_failure_report(self) -> str:
+        """Human-readable failure aggregate (empty string when clean)."""
+        if not self.failures:
+            return ""
+        lines = [f"{len(self.failures)} of {len(self.outcomes)} cells failed:"]
+        for outcome in self.failures:
+            lines.append(
+                f"  {outcome.key:<28s} {outcome.error_type or 'Error'}"
+                f" after {outcome.attempts} attempt(s): {outcome.error}"
+            )
+            snapshot = outcome.snapshot or {}
+            threads = snapshot.get("threads") or ()
+            if threads:
+                states: dict[str, int] = {}
+                for t in threads:
+                    states[t["state"]] = states.get(t["state"], 0) + 1
+                state_txt = ", ".join(
+                    f"{k}={v}" for k, v in sorted(states.items())
+                )
+                lines.append(
+                    f"    engine state at cycle {snapshot.get('cycle')}: "
+                    f"threads {state_txt}"
+                )
+            for lock in snapshot.get("locks") or ():
+                if lock["holder_tid"] is not None or lock["waiter_tids"]:
+                    lines.append(
+                        f"    lock {lock['lock_id']}: held by "
+                        f"T{lock['holder_tid']}, waiters "
+                        f"{list(lock['waiter_tids'])}"
+                    )
+            for barrier in snapshot.get("barriers") or ():
+                if barrier["waiter_tids"] or barrier["arrived"]:
+                    lines.append(
+                        f"    barrier {barrier['barrier_id']}: "
+                        f"{barrier['arrived']}/{barrier['n_parties']} "
+                        f"arrived, waiters {list(barrier['waiter_tids'])}"
+                    )
+        return "\n".join(lines)
+
+
+class BatchRunner:
+    """Run many (benchmark, N) cells with isolation, retries and resume.
+
+    ``fault_plan`` maps cell keys (``"name:N"``) to
+    :data:`~repro.robustness.faults.CellFault` callables applied to the
+    multi-threaded program/machine of that cell before it runs — the
+    hook the fault injector (and the tests) use to provoke failures in
+    exactly one cell.
+    """
+
+    def __init__(
+        self,
+        policy: RunPolicy | None = None,
+        scale: float = 1.0,
+        journal: SweepJournal | None = None,
+        fault_plan: dict[str, CellFault] | None = None,
+        machine_factory=None,
+        sleep=time.sleep,
+    ) -> None:
+        self.policy = policy or RunPolicy()
+        self.scale = scale
+        self.journal = journal or SweepJournal(None)
+        self.fault_plan = fault_plan or {}
+        self._machine_factory = machine_factory or (
+            lambda n_threads: MachineConfig(n_cores=n_threads)
+        )
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # one cell
+    # ------------------------------------------------------------------
+
+    def run_cell(self, spec: BenchmarkSpec, n_threads: int) -> CellOutcome:
+        """One isolated cell: build programs, run, classify the outcome."""
+        policy = self.policy
+        name = spec.full_name
+        key = f"{name}:{n_threads}"
+        fault = self.fault_plan.get(key)
+        attempts = 0
+        delay = policy.backoff_s
+        last_error: BaseException | None = None
+        max_attempts = (
+            1 + policy.max_retries if policy.on_error == "retry" else 1
+        )
+        while attempts < max_attempts:
+            attempts += 1
+            if attempts > 1 and delay > 0:
+                logger.info(
+                    "retrying %s (attempt %d/%d) after %.2fs backoff",
+                    key, attempts, max_attempts, delay,
+                )
+                self._sleep(delay)
+                delay *= policy.backoff_factor
+            try:
+                result = self._run_once(spec, n_threads, fault)
+            except ReproError as exc:
+                last_error = exc
+                logger.warning(
+                    "cell %s failed (attempt %d/%d): %s",
+                    key, attempts, max_attempts, exc,
+                )
+                continue
+            if result.mt_result.truncated:
+                logger.warning(
+                    "cell %s truncated (%s) — partial stack",
+                    key, result.mt_result.truncation_reason,
+                )
+            return CellOutcome(
+                name=name,
+                n_threads=n_threads,
+                status=CELL_OK,
+                attempts=attempts,
+                result=result,
+            )
+        assert last_error is not None
+        if policy.on_error == "abort":
+            raise ExperimentError(
+                name, n_threads, str(last_error)
+            ) from last_error
+        snapshot = getattr(last_error, "snapshot", None)
+        return CellOutcome(
+            name=name,
+            n_threads=n_threads,
+            status=CELL_FAILED,
+            attempts=attempts,
+            error=str(last_error),
+            error_type=type(last_error).__name__,
+            snapshot=snapshot.to_dict() if snapshot is not None else None,
+        )
+
+    def _run_once(
+        self, spec: BenchmarkSpec, n_threads: int, fault
+    ) -> ExperimentResult:
+        machine = self._machine_factory(n_threads)
+        mt_program = build_program(spec, n_threads, scale=self.scale)
+        st_program = build_program(spec, 1, scale=self.scale)
+        if fault is not None:
+            mt_program, machine = fault(mt_program, machine)
+        return run_experiment(
+            spec.full_name,
+            machine,
+            mt_program,
+            st_program,
+            max_cycles=self.policy.max_cycles,
+            livelock_window=self.policy.livelock_window,
+            on_timeout="truncate",
+        )
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+
+    def run_sweep(
+        self,
+        cells: list[tuple[BenchmarkSpec, int]],
+        resume: bool = False,
+    ) -> SweepReport:
+        """Run every cell, journaling after each one.
+
+        With ``resume=True``, cells the journal already records as
+        ``ok`` are skipped (status ``"resumed"``); failed and unseen
+        cells run normally — so a re-run after a partial sweep touches
+        only what is missing.
+        """
+        report = SweepReport()
+        for spec, n_threads in cells:
+            name = spec.full_name
+            if resume and self.journal.completed(name, n_threads):
+                logger.info("resume: skipping completed cell %s:%d",
+                            name, n_threads)
+                report.outcomes.append(CellOutcome(
+                    name=name,
+                    n_threads=n_threads,
+                    status=CELL_RESUMED,
+                ))
+                continue
+            logger.info("running cell %s:%d", name, n_threads)
+            outcome = self.run_cell(spec, n_threads)
+            if outcome.status == CELL_OK:
+                assert outcome.result is not None
+                self.journal.record_ok(
+                    name, n_threads,
+                    attempts=outcome.attempts,
+                    total_cycles=outcome.result.mt_result.total_cycles,
+                    truncated=outcome.result.mt_result.truncated,
+                )
+            else:
+                self.journal.record_failure(
+                    name, n_threads,
+                    attempts=outcome.attempts,
+                    error=outcome.error or "",
+                    error_type=outcome.error_type or "",
+                    snapshot=outcome.snapshot,
+                )
+            report.outcomes.append(outcome)
+        logger.info(
+            "sweep done: %d ok, %d resumed, %d failed",
+            len(report.completed), len(report.resumed), len(report.failures),
+        )
+        return report

@@ -19,6 +19,7 @@ uniformly (used by the test suite; the benches run at scale 1).
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass, field
 
@@ -36,6 +37,8 @@ from repro.sim.engine import Simulation
 from repro.workloads.pipeline import build_pipeline_program
 from repro.workloads.spec import BenchmarkSpec, build_program
 from repro.workloads.suite import FIG5_BENCHMARKS, FIG8_BENCHMARKS, SUITE, by_name
+
+logger = logging.getLogger(__name__)
 
 THREAD_COUNTS = (2, 4, 8, 16)
 FIG9_LLC_SIZES = (2 * MB, 4 * MB, 8 * MB, 16 * MB)
@@ -58,6 +61,8 @@ class ExperimentCache:
         """Single-threaded reference run (cached per spec + LLC size)."""
         key = (spec.full_name, machine.llc.size_bytes, self.scale)
         if key not in self._references:
+            logger.debug("reference run: %s (scale %.3g)",
+                         spec.full_name, self.scale)
             program = build_program(spec, 1, scale=self.scale)
             single = machine.with_cores(1)
             self._references[key] = Simulation(single, program).run()
@@ -81,6 +86,7 @@ class ExperimentCache:
         key = (spec.full_name, n_threads, machine.n_cores,
                machine.llc.size_bytes, self.scale)
         if key not in self._results:
+            logger.info("accounted run: %s n=%d", spec.full_name, n_threads)
             st_result = self._reference(spec, machine)
             mt_program = build_program(spec, n_threads, scale=self.scale)
             result = run_experiment(spec.full_name, machine, mt_program)

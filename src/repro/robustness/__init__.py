@@ -1,0 +1,39 @@
+"""Robustness subsystem: fault injection, engine snapshots, journals.
+
+Three pieces that together let suite sweeps survive (and deliberately
+provoke) pathological runs:
+
+* :mod:`repro.robustness.faults` — a seeded :class:`FaultInjector` that
+  corrupts traces, drops lock releases, skews barrier arrivals, and
+  spikes memory latency, so deadlock/livelock/parse-error paths can be
+  exercised deterministically on demand;
+* :mod:`repro.robustness.snapshot` — :class:`EngineSnapshot`, a
+  JSON-serializable post-mortem of the engine (per-thread state, held
+  locks, barrier counts, core clocks) attached to every
+  :class:`~repro.errors.SimulationError`;
+* :mod:`repro.robustness.journal` — :class:`SweepJournal`, the
+  checkpoint/resume record of a suite sweep.
+
+See ``docs/robustness.md`` for the full contract.
+"""
+
+from repro.robustness.faults import FaultInjector, make_fault
+from repro.robustness.journal import SweepJournal
+from repro.robustness.snapshot import (
+    BarrierSnapshot,
+    EngineSnapshot,
+    LockSnapshot,
+    ThreadSnapshot,
+    capture_snapshot,
+)
+
+__all__ = [
+    "BarrierSnapshot",
+    "EngineSnapshot",
+    "FaultInjector",
+    "LockSnapshot",
+    "SweepJournal",
+    "ThreadSnapshot",
+    "capture_snapshot",
+    "make_fault",
+]

@@ -1,0 +1,157 @@
+"""Engine-state snapshots for post-mortem diagnostics.
+
+When the engine raises a :class:`~repro.errors.SimulationError` (or the
+watchdog truncates a run), a snapshot of the scheduling and
+synchronization state is captured: per-thread state, held locks and
+their waiter queues, barrier arrival counts, and the core clocks.  The
+snapshot is plain data (dataclasses of ints and strings) so it can be
+attached to exceptions, dumped into the sweep journal as JSON, and
+rendered in failure reports without keeping the simulation alive.
+
+This module only *reads* engine attributes — it has no dependency on
+:mod:`repro.sim.engine`, which imports it for error decoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.osmodel.thread import FINISHED
+
+
+@dataclass(frozen=True)
+class ThreadSnapshot:
+    """One software thread at the moment of capture."""
+
+    tid: int
+    state: str
+    core_id: int
+    block_reason: str
+    ready_time: int
+    instrs: int
+    spin_instrs: int
+    n_yields: int
+    end_time: int
+    #: what the thread is spin-waiting on, e.g. ``"lock:0"`` (or "")
+    spinning_on: str = ""
+
+
+@dataclass(frozen=True)
+class LockSnapshot:
+    lock_id: int
+    holder_tid: int | None
+    waiter_tids: tuple[int, ...]
+    n_acquires: int
+    n_contended: int
+
+
+@dataclass(frozen=True)
+class BarrierSnapshot:
+    barrier_id: int
+    n_parties: int
+    arrived: int
+    generation: int
+    waiter_tids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """Complete post-mortem of one :class:`~repro.sim.engine.Simulation`."""
+
+    cycle: int
+    n_finished: int
+    core_clocks: tuple[int, ...]
+    threads: tuple[ThreadSnapshot, ...] = ()
+    locks: tuple[LockSnapshot, ...] = field(default_factory=tuple)
+    barriers: tuple[BarrierSnapshot, ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (used by the sweep journal)."""
+        return asdict(self)
+
+    @property
+    def blocked_tids(self) -> tuple[int, ...]:
+        return tuple(
+            t.tid for t in self.threads
+            if t.state not in (FINISHED,) and t.block_reason == "sync"
+        )
+
+    def summary(self) -> str:
+        """One human line: where the run was when it died."""
+        states: dict[str, int] = {}
+        for t in self.threads:
+            states[t.state] = states.get(t.state, 0) + 1
+        state_txt = ", ".join(f"{k}={v}" for k, v in sorted(states.items()))
+        held = [
+            f"lock {s.lock_id} held by T{s.holder_tid}"
+            f" ({len(s.waiter_tids)} waiting)"
+            for s in self.locks if s.holder_tid is not None
+        ]
+        parts = [f"cycle {self.cycle}", f"threads: {state_txt}"]
+        if held:
+            parts.append("; ".join(held))
+        waiting = [
+            f"barrier {s.barrier_id}: {s.arrived}/{s.n_parties} arrived"
+            for s in self.barriers
+            if s.arrived or s.waiter_tids
+        ]
+        if waiting:
+            parts.append("; ".join(waiting))
+        return " | ".join(parts)
+
+
+def _spin_target(thread) -> str:
+    ctx = thread.spin
+    if ctx is None:
+        return ""
+    if ctx.kind == "lock":
+        return f"lock:{ctx.obj.lock_id}"
+    return f"barrier:{ctx.obj.barrier_id}"
+
+
+def capture_snapshot(sim) -> EngineSnapshot:
+    """Snapshot a live :class:`~repro.sim.engine.Simulation`."""
+    threads = tuple(
+        ThreadSnapshot(
+            tid=t.tid,
+            state=t.state,
+            core_id=t.core_id,
+            block_reason=t.block_reason,
+            ready_time=t.ready_time,
+            instrs=t.instrs,
+            spin_instrs=t.spin_instrs,
+            n_yields=t.n_yields,
+            end_time=t.end_time,
+            spinning_on=_spin_target(t),
+        )
+        for t in sim.threads
+    )
+    locks = tuple(
+        LockSnapshot(
+            lock_id=lock.lock_id,
+            holder_tid=lock.holder.tid if lock.holder is not None else None,
+            waiter_tids=tuple(t.tid for t in lock.waiters),
+            n_acquires=lock.n_acquires,
+            n_contended=lock.n_contended,
+        )
+        for lock in sim.sync.locks.values()
+    )
+    barriers = tuple(
+        BarrierSnapshot(
+            barrier_id=b.barrier_id,
+            n_parties=b.n_parties,
+            arrived=b.arrived,
+            generation=b.generation,
+            waiter_tids=tuple(t.tid for t in b.waiters),
+        )
+        for b in sim.sync.barriers.values()
+    )
+    clocks = tuple(core.now for core in sim.cores)
+    return EngineSnapshot(
+        cycle=max(clocks) if clocks else 0,
+        n_finished=sum(1 for t in sim.threads if t.state == FINISHED),
+        core_clocks=clocks,
+        threads=threads,
+        locks=locks,
+        barriers=barriers,
+    )

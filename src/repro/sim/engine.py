@@ -18,12 +18,14 @@ system do it.
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass
 
 from repro.accounting.interface import NULL_ACCOUNTANT
 from repro.config import MachineConfig
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, LivelockError, SimulationError
+from repro.robustness.snapshot import capture_snapshot
 from repro.osmodel.thread import (
     BLOCKED,
     BLOCK_PREEMPT,
@@ -52,6 +54,11 @@ from repro.workloads.program import (
 
 _INFINITY = float("inf")
 
+logger = logging.getLogger(__name__)
+
+#: steps between watchdog progress checks (cheap: amortized O(1/step))
+_WATCHDOG_STRIDE = 1024
+
 
 class _CoreRuntime:
     """Per-core scheduling state."""
@@ -76,10 +83,22 @@ class SimResult:
     sync: SyncManager
     #: multi-threaded execution time: cycles until the last thread ends
     total_cycles: int
+    #: True when the watchdog cut the run short (max_cycles / livelock);
+    #: unfinished threads then have their end_time set to the cut point,
+    #: so downstream accounting still works on the partial run
+    truncated: bool = False
+    #: why the run was truncated: "max_cycles" or "livelock" (or None)
+    truncation_reason: str | None = None
 
     @property
     def n_threads(self) -> int:
         return len(self.threads)
+
+    @property
+    def unfinished_tids(self) -> list[int]:
+        """Threads that had not finished when the run ended (empty for a
+        complete run)."""
+        return [t.tid for t in self.threads if t.state != FINISHED]
 
     @property
     def thread_end_times(self) -> list[int]:
@@ -145,28 +164,117 @@ class Simulation:
     # main loop
     # ------------------------------------------------------------------
 
-    def run(self, max_cycles: int | None = None) -> SimResult:
+    def run(
+        self,
+        max_cycles: int | None = None,
+        *,
+        livelock_window: int | None = None,
+        on_timeout: str = "raise",
+    ) -> SimResult:
+        """Run to completion (or until the watchdog fires).
+
+        ``max_cycles`` bounds the simulated time; ``livelock_window``
+        (cycles) arms the no-forward-progress detector: if no thread
+        retires a non-spin instruction or finishes for that many cycles,
+        the run is livelocked.  ``on_timeout`` selects what happens when
+        either watchdog fires: ``"raise"`` (default) raises
+        :class:`SimulationError`/:class:`LivelockError` with an engine
+        snapshot attached, ``"truncate"`` returns a truncated-but-usable
+        :class:`SimResult` flagged ``truncated=True``.  Deadlock always
+        raises — there is nothing left to simulate.
+        """
+        if on_timeout not in ("raise", "truncate"):
+            raise ValueError(f"on_timeout must be raise|truncate: {on_timeout!r}")
         self._warm_caches()
         n_threads = len(self.threads)
+        steps = 0
+        last_progress = self._progress_metric()
+        last_progress_time = 0
         while self._n_finished < n_threads:
             core = self._pick_core()
             if core is None:
                 blocked = [t.tid for t in self.threads if t.state == BLOCKED]
-                raise DeadlockError(
+                logger.error("deadlock: blocked threads %s", blocked)
+                raise self._error(DeadlockError(
                     f"no runnable core; blocked threads: {blocked}"
-                )
+                ))
             if max_cycles is not None and core.now > max_cycles:
-                raise SimulationError(
+                if on_timeout == "truncate":
+                    return self._truncate("max_cycles")
+                raise self._error(SimulationError(
                     f"exceeded max_cycles={max_cycles} at t={core.now}"
-                )
+                ))
+            steps += 1
+            if livelock_window is not None and steps % _WATCHDOG_STRIDE == 0:
+                progress = self._progress_metric()
+                if progress != last_progress:
+                    last_progress = progress
+                    last_progress_time = core.now
+                elif core.now - last_progress_time > livelock_window:
+                    if on_timeout == "truncate":
+                        return self._truncate("livelock")
+                    raise self._error(LivelockError(
+                        f"no forward progress for {livelock_window} cycles "
+                        f"at t={core.now}"
+                    ))
             self._step(core)
         total = max(t.end_time for t in self.threads)
+        logger.debug(
+            "run complete: %d threads, %d cycles", n_threads, total
+        )
         return SimResult(
             machine=self.machine,
             threads=self.threads,
             chip=self.chip,
             sync=self.sync,
             total_cycles=total,
+        )
+
+    def _progress_metric(self) -> tuple[int, int]:
+        """Forward progress: finishes plus non-spin instructions retired.
+
+        Spin-loop instructions are excluded on purpose — a livelocked
+        run retires spin instructions at full speed while doing no real
+        work.
+        """
+        real_instrs = 0
+        for t in self.threads:
+            real_instrs += t.instrs - t.spin_instrs
+        return self._n_finished, real_instrs
+
+    def snapshot(self):
+        """Capture an :class:`~repro.robustness.snapshot.EngineSnapshot`
+        of the current scheduling and synchronization state."""
+        return capture_snapshot(self)
+
+    def _error(self, exc: SimulationError) -> SimulationError:
+        """Attach a post-mortem snapshot to an engine error."""
+        try:
+            exc.snapshot = capture_snapshot(self)
+        except Exception:  # diagnostics must never mask the real error
+            logger.exception("failed to capture engine snapshot")
+        return exc
+
+    def _truncate(self, reason: str) -> SimResult:
+        """Close out a watchdog-cut run into a usable partial result."""
+        now = max(core.now for core in self.cores)
+        unfinished = 0
+        for thread in self.threads:
+            if thread.state != FINISHED:
+                thread.end_time = now
+                unfinished += 1
+        logger.warning(
+            "run truncated (%s) at t=%d with %d/%d threads unfinished",
+            reason, now, unfinished, len(self.threads),
+        )
+        return SimResult(
+            machine=self.machine,
+            threads=self.threads,
+            chip=self.chip,
+            sync=self.sync,
+            total_cycles=now,
+            truncated=True,
+            truncation_reason=reason,
         )
 
     def _warm_caches(self) -> None:
@@ -230,8 +338,9 @@ class Simulation:
     def _dispatch(self, core: _CoreRuntime) -> None:
         thread = self._pop_eligible(core)
         if thread is None:
-            raise SimulationError(f"dispatch on core {core.core_id} with no "
-                                  "eligible thread")
+            raise self._error(SimulationError(
+                f"dispatch on core {core.core_id} with no eligible thread"
+            ))
         core.now += self._dispatch_cost
         if thread.block_reason == BLOCK_SYNC:
             thread.gt_yield_cycles += core.now - thread.block_start
@@ -335,7 +444,7 @@ class Simulation:
             elif queue:
                 self._wake(queue.popleft(), core.now)
         else:  # pragma: no cover - op classes are closed
-            raise SimulationError(f"unknown op {op!r}")
+            raise self._error(SimulationError(f"unknown op {op!r}"))
 
     def _finish_thread(self, core: _CoreRuntime, thread: SoftwareThread) -> None:
         core.now += self.chip.drain(core.core_id, core.now)
@@ -392,10 +501,10 @@ class Simulation:
         self, core: _CoreRuntime, thread: SoftwareThread, lock: LockState
     ) -> None:
         if lock.holder is not thread:
-            raise SimulationError(
+            raise self._error(SimulationError(
                 f"thread {thread.tid} releasing lock {lock.lock_id} held by "
                 f"{lock.holder.tid if lock.holder else None}"
-            )
+            ))
         cid = core.core_id
         core.now += self.chip.drain(cid, core.now)
         t_start = core.now
@@ -529,6 +638,12 @@ def simulate(
     program: Program,
     accountant=NULL_ACCOUNTANT,
     max_cycles: int | None = None,
+    livelock_window: int | None = None,
+    on_timeout: str = "raise",
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
-    return Simulation(machine, program, accountant).run(max_cycles=max_cycles)
+    return Simulation(machine, program, accountant).run(
+        max_cycles=max_cycles,
+        livelock_window=livelock_window,
+        on_timeout=on_timeout,
+    )

@@ -196,11 +196,41 @@ SUITE: tuple[BenchmarkSpec, ...] = (
 
 
 def by_name(full_name: str) -> BenchmarkSpec:
-    """Look up a spec by its full name (e.g. ``facesim_medium``)."""
+    """Look up a spec by its full name (e.g. ``facesim_medium``).
+
+    Unknown names raise :class:`KeyError` with close-match suggestions,
+    so a typo in a sweep config fails with an actionable message.
+    """
     for spec in SUITE:
         if spec.full_name == full_name:
             return spec
-    raise KeyError(full_name)
+    import difflib
+
+    close = difflib.get_close_matches(
+        full_name, [spec.full_name for spec in SUITE], n=3
+    )
+    hint = f" (did you mean: {', '.join(close)}?)" if close else ""
+    raise KeyError(f"unknown benchmark {full_name!r}{hint}")
+
+
+def sweep_cells(
+    benchmarks: tuple[str, ...] | None = None,
+    thread_counts: tuple[int, ...] = (16,),
+) -> list[tuple[BenchmarkSpec, int]]:
+    """Enumerate the (spec, N) cells of a suite sweep.
+
+    ``benchmarks`` is a tuple of full names (default: the whole suite);
+    every name is validated up front so a bad sweep config fails before
+    any simulation time is spent.
+    """
+    if benchmarks is None:
+        specs = list(SUITE)
+    else:
+        specs = [by_name(name) for name in benchmarks]
+    for n in thread_counts:
+        if n < 1:
+            raise ValueError(f"thread count must be >= 1: {n}")
+    return [(spec, n) for spec in specs for n in thread_counts]
 
 
 #: The Figure 8 benchmarks (non-negligible positive LLC interference).

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceParseError
 from repro.workloads.program import (
     BarrierWait,
     Compute,
@@ -42,31 +42,37 @@ from repro.workloads.program import (
 )
 
 
-def _parse_int(token: str, line_no: int) -> int:
+def _parse_int(token: str, line_no: int, source: str) -> int:
     try:
         return int(token, 0)
     except ValueError:
-        raise ConfigError(f"line {line_no}: bad integer {token!r}") from None
+        raise TraceParseError(
+            f"bad integer {token!r}", source, line_no
+        ) from None
 
 
-def _parse_op(tokens: list[str], line_no: int) -> Op:
+def _parse_op(tokens: list[str], line_no: int, source: str) -> Op:
     kind = tokens[0].upper()
     args = tokens[1:]
     if kind == "C":
         if len(args) != 1:
-            raise ConfigError(f"line {line_no}: C takes one count")
-        n = _parse_int(args[0], line_no)
+            raise TraceParseError("C takes one count", source, line_no)
+        n = _parse_int(args[0], line_no, source)
         if n <= 0:
-            raise ConfigError(f"line {line_no}: compute count must be > 0")
+            raise TraceParseError(
+                "compute count must be > 0", source, line_no
+            )
         return Compute(n)
     if kind == "L":
         if not args:
-            raise ConfigError(f"line {line_no}: L needs an address")
-        addr = _parse_int(args[0], line_no)
+            raise TraceParseError("L needs an address", source, line_no)
+        addr = _parse_int(args[0], line_no, source)
         flags = {flag.lower() for flag in args[1:]}
         unknown = flags - {"dep", "noov"}
         if unknown:
-            raise ConfigError(f"line {line_no}: unknown flags {unknown}")
+            raise TraceParseError(
+                f"unknown flags {unknown}", source, line_no
+            )
         return Load(
             addr,
             overlappable="noov" not in flags and "dep" not in flags,
@@ -74,26 +80,37 @@ def _parse_op(tokens: list[str], line_no: int) -> Op:
         )
     if kind == "S":
         if len(args) != 1:
-            raise ConfigError(f"line {line_no}: S takes one address")
-        return Store(_parse_int(args[0], line_no))
+            raise TraceParseError("S takes one address", source, line_no)
+        return Store(_parse_int(args[0], line_no, source))
+    if kind in ("ACQ", "REL", "BAR", "FWAIT", "FWAKE") and not args:
+        raise TraceParseError(
+            f"{kind} needs an argument", source, line_no
+        )
     if kind == "ACQ":
-        return LockAcquire(_parse_int(args[0], line_no))
+        return LockAcquire(_parse_int(args[0], line_no, source))
     if kind == "REL":
-        return LockRelease(_parse_int(args[0], line_no))
+        return LockRelease(_parse_int(args[0], line_no, source))
     if kind == "BAR":
-        return BarrierWait(_parse_int(args[0], line_no))
+        return BarrierWait(_parse_int(args[0], line_no, source))
     if kind == "YIELD":
         return YieldCpu()
     if kind == "FWAIT":
-        return FutexWait(_parse_int(args[0], line_no))
+        return FutexWait(_parse_int(args[0], line_no, source))
     if kind == "FWAKE":
         wake_all = len(args) > 1 and args[1].lower() == "all"
-        return FutexWake(_parse_int(args[0], line_no), wake_all=wake_all)
-    raise ConfigError(f"line {line_no}: unknown op {kind!r}")
+        return FutexWake(
+            _parse_int(args[0], line_no, source), wake_all=wake_all
+        )
+    raise TraceParseError(f"unknown op {kind!r}", source, line_no)
 
 
 def parse_trace(text: str, name: str = "trace") -> Program:
-    """Parse a text trace into a runnable program."""
+    """Parse a text trace into a runnable program.
+
+    Malformed lines raise :class:`~repro.errors.TraceParseError` (a
+    :class:`~repro.errors.ConfigError`) carrying ``name`` and the
+    1-based line number of the offending line.
+    """
     per_thread: dict[int, list[Op]] = {}
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -102,17 +119,19 @@ def parse_trace(text: str, name: str = "trace") -> Program:
         tokens = line.split()
         head = tokens[0]
         if not head.upper().startswith("T") or len(head) < 2:
-            raise ConfigError(
-                f"line {line_no}: expected 'T<tid> <op> ...', got {raw!r}"
+            raise TraceParseError(
+                f"expected 'T<tid> <op> ...', got {raw!r}", name, line_no
             )
-        tid = _parse_int(head[1:], line_no)
+        tid = _parse_int(head[1:], line_no, name)
         if tid < 0:
-            raise ConfigError(f"line {line_no}: negative thread id")
+            raise TraceParseError("negative thread id", name, line_no)
         if len(tokens) < 2:
-            raise ConfigError(f"line {line_no}: missing op")
-        per_thread.setdefault(tid, []).append(_parse_op(tokens[1:], line_no))
+            raise TraceParseError("missing op", name, line_no)
+        per_thread.setdefault(tid, []).append(
+            _parse_op(tokens[1:], line_no, name)
+        )
     if not per_thread:
-        raise ConfigError("trace contains no ops")
+        raise TraceParseError("trace contains no ops", name)
     n_threads = max(per_thread) + 1
     bodies = [iter(per_thread.get(tid, [])) for tid in range(n_threads)]
     return Program(name, bodies)

@@ -1,0 +1,1 @@
+"""Robustness subsystem tests."""

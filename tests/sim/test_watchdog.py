@@ -1,0 +1,203 @@
+"""Engine watchdog: max-cycles bound, livelock detection, truncation.
+
+Also covers the deadlock edge cases the watchdog must *not* mask:
+deadlock always raises (with a post-mortem snapshot) — truncation is
+only for runs that are still executing but going nowhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.rendering import render_stack
+from repro.core.stack import build_stack
+from repro.errors import DeadlockError, LivelockError, SimulationError
+from repro.experiments.runner import run_accounted
+from repro.osmodel.thread import FINISHED
+from repro.sim.engine import Simulation, simulate
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    FutexWait,
+    LockAcquire,
+    Program,
+)
+
+from tests.conftest import lock_step_program
+
+
+def livelock_program() -> Program:
+    """A holder that exits still owning the lock, and a waiter that
+    spins on it forever (no spin budget -> it never yields)."""
+
+    def holder():
+        yield LockAcquire(0)
+        yield Compute(5_000)
+        # no LockRelease: the holder finishes while holding the lock
+
+    def waiter():
+        yield Compute(100)
+        yield LockAcquire(0)
+
+    return Program(
+        "livelock", [holder(), waiter()],
+        spin_threshold_override=1 << 60,
+    )
+
+
+class TestMaxCycles:
+    def test_raise_mode(self, machine4):
+        sim = Simulation(machine4, lock_step_program(4, iters=200))
+        with pytest.raises(SimulationError) as err:
+            sim.run(max_cycles=5_000)
+        assert "max_cycles" in str(err.value)
+        assert err.value.snapshot is not None
+        assert err.value.snapshot.cycle > 0
+
+    def test_truncate_mode_returns_usable_result(self, machine4):
+        result = simulate(
+            machine4, lock_step_program(4, iters=200),
+            max_cycles=5_000, on_timeout="truncate",
+        )
+        assert result.truncated
+        assert result.truncation_reason == "max_cycles"
+        assert result.unfinished_tids
+        # every thread got an end time at (or before) the cut point
+        assert result.total_cycles == max(result.thread_end_times)
+        assert all(0 <= c for c in result.imbalance_cycles)
+
+    def test_finished_run_is_not_flagged(self, machine4):
+        result = simulate(
+            machine4, lock_step_program(4),
+            max_cycles=10_000_000, on_timeout="truncate",
+        )
+        assert not result.truncated
+        assert result.truncation_reason is None
+        assert result.unfinished_tids == []
+
+    def test_bad_on_timeout_rejected(self, machine4):
+        with pytest.raises(ValueError):
+            simulate(machine4, lock_step_program(4), on_timeout="explode")
+
+
+class TestLivelock:
+    def test_raise_mode(self):
+        machine = MachineConfig(n_cores=2)
+        sim = Simulation(machine, livelock_program())
+        with pytest.raises(LivelockError) as err:
+            sim.run(livelock_window=20_000)
+        snapshot = err.value.snapshot
+        assert snapshot is not None
+        spinners = [t for t in snapshot.threads if t.spinning_on]
+        assert spinners and spinners[0].spinning_on == "lock:0"
+
+    def test_truncate_mode(self):
+        machine = MachineConfig(n_cores=2)
+        result = simulate(
+            machine, livelock_program(),
+            livelock_window=20_000, on_timeout="truncate",
+        )
+        assert result.truncated
+        assert result.truncation_reason == "livelock"
+        assert result.unfinished_tids == [1]
+
+    def test_spinning_is_not_progress(self):
+        """The progress metric must ignore spin-loop instructions —
+        a spinning thread retires instructions at full speed."""
+        machine = MachineConfig(n_cores=2)
+        result = simulate(
+            machine, livelock_program(),
+            livelock_window=20_000, on_timeout="truncate",
+        )
+        waiter = result.threads[1]
+        assert waiter.spin_instrs > 0
+        assert waiter.instrs > waiter.spin_instrs  # setup compute retired
+
+    def test_healthy_run_unaffected(self, machine4):
+        result = simulate(
+            machine4, lock_step_program(4), livelock_window=50_000,
+        )
+        assert not result.truncated
+        assert all(t.state == FINISHED for t in result.threads)
+
+
+class TestDeadlockEdgeCases:
+    def test_all_threads_blocked(self, machine4):
+        """Every thread futex-waits with nobody left to wake them."""
+
+        def body(tid):
+            yield Compute(50)
+            yield FutexWait(0x100)
+
+        with pytest.raises(DeadlockError) as err:
+            simulate(machine4, Program("all-wait", [body(t) for t in range(4)]))
+        snapshot = err.value.snapshot
+        assert snapshot is not None
+        assert set(snapshot.blocked_tids) == {0, 1, 2, 3}
+
+    def test_single_thread_self_deadlock(self, machine1):
+        """One thread blocking on an address nobody will wake."""
+
+        def body():
+            yield Compute(10)
+            yield FutexWait(0x200)
+
+        with pytest.raises(DeadlockError):
+            simulate(machine1, Program("self", [body()]))
+
+    def test_barrier_with_finished_participant(self, machine4):
+        """Three threads wait on a 4-party barrier whose fourth party
+        already finished: they can never be released."""
+
+        def body(tid):
+            yield Compute(100)
+            if tid != 3:
+                yield BarrierWait(0)
+
+        with pytest.raises(DeadlockError) as err:
+            simulate(machine4, Program("gone", [body(t) for t in range(4)]))
+        snapshot = err.value.snapshot
+        assert snapshot is not None
+        barrier = snapshot.barriers[0]
+        assert barrier.arrived == 3
+        assert barrier.n_parties == 4
+        finished = [t for t in snapshot.threads if t.state == FINISHED]
+        assert [t.tid for t in finished] == [3]
+
+    def test_deadlock_raises_even_in_truncate_mode(self, machine4):
+        """Truncation is for runs still executing; a deadlocked run has
+        nothing left to simulate and must raise."""
+
+        def body(tid):
+            yield FutexWait(0x300)
+
+        with pytest.raises(DeadlockError):
+            simulate(
+                machine4, Program("dl", [body(t) for t in range(4)]),
+                max_cycles=1_000_000, on_timeout="truncate",
+            )
+
+
+class TestTruncatedAccounting:
+    def test_truncated_run_yields_flagged_stack(self, machine4):
+        """A watchdog-cut run must still produce a valid speedup stack,
+        flagged as partial all the way through the pipeline."""
+        result, report = run_accounted(
+            machine4, lock_step_program(4, iters=200),
+            max_cycles=10_000, on_timeout="truncate",
+        )
+        assert result.truncated
+        assert report.truncated
+        stack = build_stack("lock-step", report)
+        assert stack.truncated
+        stack.validate_consistency()
+        assert stack.base_speedup > 0
+        assert "[TRUNCATED RUN]" in render_stack(stack)
+
+    def test_complete_run_stack_not_flagged(self, machine4):
+        result, report = run_accounted(machine4, lock_step_program(4))
+        assert not report.truncated
+        stack = build_stack("lock-step", report)
+        assert not stack.truncated
+        assert "[TRUNCATED RUN]" not in render_stack(stack)

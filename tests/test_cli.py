@@ -16,7 +16,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("list", "stack", "curve", "tree", "regions",
-                        "timeline", "cpi", "cost", "run-trace"):
+                        "timeline", "cpi", "cost", "run-trace", "sweep"):
             assert command in text
 
     def test_requires_command(self):
@@ -96,3 +96,48 @@ class TestCommands:
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
             main(["stack", "nope", "-n", "2"] + SCALE)
+
+    def test_run_trace_parse_error_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("T0 C 100\nT0 FROB 1\n")
+        assert main(["run-trace", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert f"{path}:2" in err
+
+    def test_run_trace_max_cycles_truncates(self, capsys, tmp_path):
+        path = tmp_path / "long.trace"
+        path.write_text("".join("T0 C 1000\n" for __ in range(100)))
+        assert main(["run-trace", str(path), "--max-cycles", "5000"]) == 0
+        assert "TRUNCATED at max-cycles" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_injected_fault_then_resume(self, capsys, tmp_path):
+        """End-to-end acceptance flow: a sweep with a deadlock injected
+        into one cell finishes the others, reports the failure (exit 1),
+        and a --resume re-runs only the failed cell."""
+        journal = tmp_path / "sweep.json"
+        base = ["sweep", "--benchmarks", "cholesky,blackscholes_small",
+                "-n", "2", "--scale", "0.05", "--journal", str(journal)]
+        assert main(base + ["--inject", "deadlock@cholesky:2"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED  cholesky:2" in out
+        assert "ok      blackscholes_small:2" in out
+        assert "1 failed" in out
+        assert "DeadlockError" in out
+        assert journal.exists()
+
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "ok      cholesky:2" in out
+        assert "resumed blackscholes_small:2" in out
+
+    def test_bad_inject_spec_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main(["sweep", "--benchmarks", "cholesky",
+                  "--inject", "deadlock-cholesky-2"])
+
+    def test_unknown_benchmark_listed_up_front(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "--benchmarks", "choleski", "-n", "2"])

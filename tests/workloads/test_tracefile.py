@@ -5,8 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.config import MachineConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceParseError
 from repro.osmodel.thread import FINISHED
+from repro.robustness.faults import FaultInjector
 from repro.sim.engine import simulate
 from repro.workloads.program import (
     BarrierWait,
@@ -93,6 +94,62 @@ class TestParse:
     def test_rejects_malformed(self, bad):
         with pytest.raises(ConfigError):
             parse_trace(bad)
+
+
+class TestParseErrors:
+    def test_error_carries_source_and_line(self):
+        text = "T0 C 10\nT0 C 10\nT0 C ten\n"
+        with pytest.raises(TraceParseError) as err:
+            parse_trace(text, name="demo.trace")
+        assert err.value.source == "demo.trace"
+        assert err.value.line_no == 3
+        assert "demo.trace:3" in str(err.value)
+
+    def test_is_a_config_error(self):
+        with pytest.raises(ConfigError):
+            parse_trace("T0 FROB 1")
+
+    @pytest.mark.parametrize("line", [
+        "T0 ACQ", "T0 REL", "T0 BAR", "T0 FWAIT", "T0 FWAKE",
+    ])
+    def test_argless_sync_op_rejected(self, line):
+        with pytest.raises(TraceParseError):
+            parse_trace(line)
+
+    def test_load_trace_error_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.trace"
+        path.write_text("T0 C 10\nT0 C nope\n")
+        with pytest.raises(TraceParseError) as err:
+            load_trace(str(path))
+        assert err.value.source == str(path)
+        assert err.value.line_no == 2
+
+
+class TestCorruptedRoundTrip:
+    """dump -> corrupt -> parse must fail loudly, never mis-parse."""
+
+    def clean_text(self) -> str:
+        ops = [
+            [Compute(50), Load(0x1000), Store(0x2000)] * 4,
+            [Compute(70), Load(0x3000, dependent=True), Store(0x4000)] * 4,
+        ]
+        return dump_trace(ops)
+
+    def test_every_corruption_is_a_parse_error(self):
+        text = self.clean_text()
+        for seed in range(12):
+            corrupted = FaultInjector(seed).corrupt_trace(
+                text, n_corruptions=2
+            )
+            assert corrupted != text
+            with pytest.raises(TraceParseError) as err:
+                parse_trace(corrupted, name=f"fuzz-{seed}")
+            assert err.value.source == f"fuzz-{seed}"
+            assert err.value.line_no is not None
+
+    def test_uncorrupted_dump_still_round_trips(self):
+        text = self.clean_text()
+        assert dump_program(parse_trace(text)) == text
 
 
 class TestDump:
