@@ -33,7 +33,10 @@ class AuxiliaryTagDirectory:
             raise ValueError("sample_period must be >= 1")
         self.sample_period = sample_period
         self._sample_offset = sample_period // 2
-        self._tags = SetAssocCache(llc_config)
+        # Sparse tag store: only 1-in-sample_period sets are ever probed,
+        # so per-set state is materialized on first touch instead of
+        # paying an O(n_sets) dictionary build per ATD per run.
+        self._tags = SetAssocCache(llc_config, sparse=True)
         self.n_sampled_accesses = 0
         self.n_inter_thread_misses = 0
         self.n_inter_thread_hits = 0
@@ -70,11 +73,15 @@ class AuxiliaryTagDirectory:
         """Pre-fill the ATD during untimed cache warmup (no counters)."""
         if set_index % self.sample_period != self._sample_offset:
             return
-        if not self._tags.contains(line_addr):
-            self._tags.fill(line_addr)
-        else:
-            self._tags.lookup(line_addr)
-            self._tags.n_hits -= 1
+        self._tags.warm_fill(line_addr, promote=True)
+
+    def reset(self) -> None:
+        """Clear tag state and counters in place for reuse across runs."""
+        self._tags.reset()
+        self.n_sampled_accesses = 0
+        self.n_inter_thread_misses = 0
+        self.n_inter_thread_hits = 0
+        self.n_sampled_load_inter_hits = 0
 
     def sampling_factor(self, total_accesses: int) -> float:
         """Total LLC accesses divided by sampled ATD accesses (Section

@@ -13,6 +13,7 @@ Commands:
 * ``cost``      — accounting hardware cost (Section 4.7)
 * ``run-trace`` — simulate a text op-trace file
 * ``sweep``     — hardened suite sweep (journal, retries, fault injection)
+* ``bench``     — time the sweep serial vs ``--jobs N`` (BENCH_sweep.json)
 
 Global flags: ``-v``/``-vv`` raise the stdlib-logging verbosity to
 INFO/DEBUG (they go before the subcommand, e.g. ``repro -v sweep ...``).
@@ -22,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 
 from repro.accounting.hardware_cost import estimate_cost
@@ -36,6 +38,7 @@ from repro.core.rendering import (
 )
 from repro.core.whatif import advice
 from repro.errors import ConfigError, TraceParseError
+from repro.experiments.bench import render_bench, run_bench, write_bench
 from repro.experiments.runner import (
     BatchRunner,
     ON_ERROR_MODES,
@@ -47,6 +50,7 @@ from repro.experiments.scenarios import (
     classification_tree,
     speedup_curves,
 )
+from repro.parallel import cells_from_sweep, run_parallel_sweep
 from repro.robustness.faults import FAULT_KINDS, make_fault
 from repro.robustness.journal import SweepJournal
 from repro.sim.engine import Simulation
@@ -196,8 +200,13 @@ def cmd_run_trace(args) -> int:
     return 0
 
 
-def _parse_injections(specs: list[str] | None) -> dict:
-    """``--inject KIND@BENCH:N`` -> fault plan {cell key: CellFault}."""
+def _parse_injections(specs: list[str] | None) -> dict[str, str]:
+    """``--inject KIND@BENCH:N`` -> fault plan {cell key: fault kind}.
+
+    Kinds stay strings (resolved per cell by the runner): strings
+    validate eagerly here, travel to worker processes, and record
+    cleanly — the closures :func:`make_fault` builds do neither.
+    """
     plan = {}
     for item in specs or ():
         try:
@@ -209,7 +218,8 @@ def _parse_injections(specs: list[str] | None) -> dict:
                 f"bad --inject {item!r}; expected KIND@BENCH:N, e.g. "
                 f"deadlock@cholesky:16"
             ) from None
-        plan[f"{name}:{n_txt}"] = make_fault(kind)
+        make_fault(kind)  # eager kind validation (raises ConfigError)
+        plan[f"{name}:{n_txt}"] = kind
     return plan
 
 
@@ -226,18 +236,29 @@ def cmd_sweep(args) -> int:
         max_cycles=args.max_cycles,
         livelock_window=args.livelock_window,
     )
-    runner = BatchRunner(
-        policy=policy,
-        scale=args.scale,
-        journal=SweepJournal(args.journal),
-        fault_plan=_parse_injections(args.inject),
-    )
-    report = runner.run_sweep(cells, resume=args.resume)
+    fault_plan = _parse_injections(args.inject)
+    journal = SweepJournal(args.journal)
+    if args.jobs > 1:
+        report = run_parallel_sweep(
+            cells_from_sweep(cells, scale=args.scale, fault_kinds=fault_plan),
+            jobs=args.jobs,
+            policy=policy,
+            journal=journal,
+            resume=args.resume,
+        )
+    else:
+        runner = BatchRunner(
+            policy=policy,
+            scale=args.scale,
+            journal=journal,
+            fault_plan=fault_plan,
+        )
+        report = runner.run_sweep(cells, resume=args.resume)
     for outcome in report.outcomes:
         if outcome.status == "ok":
             result = outcome.result
             flag = (
-                " [truncated]" if result.mt_result.truncated else ""
+                " [truncated]" if result.stack.truncated else ""
             )
             speedup = result.stack.actual_speedup
             speedup_txt = f"{speedup:6.2f}" if speedup is not None else "   n/a"
@@ -253,6 +274,29 @@ def cmd_sweep(args) -> int:
         print()
         print(report.render_failure_report())
         return 1
+    return 0
+
+
+def cmd_bench(args) -> int:
+    if args.jobs_list:
+        jobs_list = tuple(int(j) for j in args.jobs_list.split(","))
+    else:
+        jobs_list = (1, os.cpu_count() or 1)
+    benchmarks = (
+        tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    )
+    doc = run_bench(
+        benchmarks=benchmarks,
+        thread_counts=tuple(int(n) for n in str(args.threads).split(",")),
+        scale=args.scale,
+        jobs_list=jobs_list,
+        repeats=args.repeats,
+        max_cycles=args.max_cycles,
+    )
+    print(render_bench(doc))
+    if args.out:
+        write_bench(doc, args.out)
+        print(f"written to {args.out}")
     return 0
 
 
@@ -352,7 +396,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject", action="append", metavar="KIND@BENCH:N",
                    help=f"inject a fault into one cell; KIND is one of "
                         f"{', '.join(FAULT_KINDS)} (repeatable)")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for the sweep (default 1: "
+                        "serial in-process execution)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the sweep serial vs parallel; emit BENCH_sweep.json",
+    )
+    p.add_argument("--benchmarks", default=None,
+                   help="comma-separated full names (default: whole suite)")
+    p.add_argument("-n", "--threads", default="2,4",
+                   help="comma-separated thread counts (default 2,4)")
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="workload scale factor (default 0.25)")
+    p.add_argument("--jobs-list", default=None,
+                   help="comma-separated --jobs levels "
+                        "(default: 1,<cpu_count>)")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="repetitions per configuration (best-of)")
+    p.add_argument("--max-cycles", type=int, default=20_000_000,
+                   help="watchdog for every benchmark run")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON document here")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

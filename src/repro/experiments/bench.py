@@ -1,0 +1,164 @@
+"""Sweep wall-clock benchmark harness.
+
+Times the hardened suite sweep end-to-end — serial and at one or more
+``--jobs`` levels — plus the engine-level fast paths in isolation
+(instruction-block fast-forward on vs. off), and emits a JSON document
+(``BENCH_sweep.json``) suitable for checking into the repo or uploading
+as a CI artifact.
+
+All numbers are *measured on the machine that ran the harness*; the
+document records the host's CPU count precisely so a 1-core CI runner's
+parallel numbers are not mistaken for a workstation's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.experiments.runner import BatchRunner, RunPolicy
+from repro.parallel import cells_from_sweep, run_parallel_sweep
+from repro.robustness.journal import SweepJournal
+from repro.sim.engine import Simulation
+from repro.config import MachineConfig
+from repro.workloads.spec import build_program
+from repro.workloads.suite import by_name, sweep_cells
+
+#: sweep defaults: whole suite at two thread counts, scaled down so the
+#: harness finishes in CI time while still touching every benchmark
+DEFAULT_THREADS = (2, 4)
+DEFAULT_SCALE = 0.25
+DEFAULT_MAX_CYCLES = 20_000_000
+
+#: representative cell for the fast-forward on/off micro-benchmark
+FF_BENCHMARK = "cholesky"
+FF_THREADS = 4
+
+
+def _timed_sweep(cells, scale, policy, jobs, repeats):
+    """Best-of-``repeats`` wall-clock for one sweep configuration."""
+    times = []
+    ok = failed = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        if jobs > 1:
+            report = run_parallel_sweep(
+                cells_from_sweep(cells, scale=scale),
+                jobs=jobs, policy=policy, journal=SweepJournal(None),
+            )
+        else:
+            report = BatchRunner(policy=policy, scale=scale).run_sweep(cells)
+        times.append(time.perf_counter() - start)
+        ok = len(report.completed)
+        failed = len(report.failures)
+    return {
+        "jobs": jobs,
+        "wall_s": round(min(times), 4),
+        "wall_s_all": [round(t, 4) for t in times],
+        "cells_ok": ok,
+        "cells_failed": failed,
+    }
+
+
+def _bench_fast_forward(scale, max_cycles, repeats):
+    """Same accountant-less run with the engine fast-forward on vs off."""
+    spec = by_name(FF_BENCHMARK)
+    machine = MachineConfig(n_cores=FF_THREADS)
+    timings = {}
+    cycles = {}
+    for enabled in (True, False):
+        best = None
+        for _ in range(repeats):
+            program = build_program(spec, FF_THREADS, scale=scale)
+            start = time.perf_counter()
+            result = Simulation(
+                machine, program, fast_forward=enabled
+            ).run(max_cycles=max_cycles, on_timeout="truncate")
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            cycles[enabled] = result.total_cycles
+        timings[enabled] = best
+    assert cycles[True] == cycles[False], (
+        "fast-forward changed simulated time — fast path is unsound"
+    )
+    return {
+        "cell": f"{FF_BENCHMARK}:{FF_THREADS}",
+        "wall_s_on": round(timings[True], 4),
+        "wall_s_off": round(timings[False], 4),
+        "speedup": round(timings[False] / timings[True], 3),
+        "total_cycles": cycles[True],
+    }
+
+
+def run_bench(
+    benchmarks=None,
+    thread_counts=DEFAULT_THREADS,
+    scale=DEFAULT_SCALE,
+    jobs_list=(1,),
+    repeats=1,
+    max_cycles=DEFAULT_MAX_CYCLES,
+) -> dict:
+    """Run the whole harness and return the BENCH document."""
+    cells = sweep_cells(benchmarks, tuple(thread_counts))
+    policy = RunPolicy(on_error="skip", max_cycles=max_cycles)
+    jobs_list = sorted(set(jobs_list) | {1})
+    runs = [
+        _timed_sweep(cells, scale, policy, jobs, repeats)
+        for jobs in jobs_list
+    ]
+    serial_wall = next(r["wall_s"] for r in runs if r["jobs"] == 1)
+    for run in runs:
+        run["speedup_vs_serial"] = round(serial_wall / run["wall_s"], 3)
+    return {
+        "bench": "sweep-wall-clock",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "benchmarks": sorted({spec.full_name for spec, _ in cells}),
+            "thread_counts": list(thread_counts),
+            "n_cells": len(cells),
+            "scale": scale,
+            "max_cycles": max_cycles,
+            "repeats": repeats,
+        },
+        "sweep": runs,
+        "engine_fast_forward": _bench_fast_forward(
+            scale, max_cycles, repeats
+        ),
+    }
+
+
+def render_bench(doc: dict) -> str:
+    """Human-readable summary of a BENCH document."""
+    host = doc["host"]
+    config = doc["config"]
+    lines = [
+        f"sweep benchmark: {config['n_cells']} cells "
+        f"(scale {config['scale']}) on {host['cpu_count']} CPU(s)",
+        f"{'jobs':>6s} {'wall s':>10s} {'vs serial':>10s} {'ok':>4s} "
+        f"{'failed':>7s}",
+    ]
+    for run in doc["sweep"]:
+        lines.append(
+            f"{run['jobs']:>6d} {run['wall_s']:>10.3f} "
+            f"{run['speedup_vs_serial']:>9.2f}x {run['cells_ok']:>4d} "
+            f"{run['cells_failed']:>7d}"
+        )
+    ff = doc["engine_fast_forward"]
+    lines.append(
+        f"engine fast-forward ({ff['cell']}): "
+        f"{ff['wall_s_off']:.3f}s -> {ff['wall_s_on']:.3f}s "
+        f"({ff['speedup']:.2f}x, cycles identical)"
+    )
+    return "\n".join(lines)
+
+
+def write_bench(doc: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")

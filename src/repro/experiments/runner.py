@@ -33,7 +33,7 @@ from repro.accounting.report import AccountingReport
 from repro.config import MachineConfig
 from repro.core.stack import SpeedupStack, build_stack
 from repro.errors import ExperimentError, ReproError
-from repro.robustness.faults import CellFault
+from repro.robustness.faults import CellFault, make_fault
 from repro.robustness.journal import SweepJournal
 from repro.sim.engine import SimResult, Simulation
 from repro.workloads.program import Program
@@ -289,7 +289,15 @@ class BatchRunner:
     :data:`~repro.robustness.faults.CellFault` callables applied to the
     multi-threaded program/machine of that cell before it runs — the
     hook the fault injector (and the tests) use to provoke failures in
-    exactly one cell.
+    exactly one cell.  A plan value may also be a bare fault *kind*
+    string from :data:`~repro.robustness.faults.FAULT_KINDS`, resolved
+    via :func:`~repro.robustness.faults.make_fault` when the cell runs
+    (strings pickle; closures do not — see ``repro.parallel``).
+
+    The single-threaded reference run of a cell depends only on the
+    benchmark spec, scale and (post-fault) machine, so it is memoized
+    across the sweep: ``bench:2`` and ``bench:16`` share one ``Ts``
+    measurement exactly as the paper's protocol intends.
     """
 
     def __init__(
@@ -297,7 +305,7 @@ class BatchRunner:
         policy: RunPolicy | None = None,
         scale: float = 1.0,
         journal: SweepJournal | None = None,
-        fault_plan: dict[str, CellFault] | None = None,
+        fault_plan: dict[str, CellFault | str] | None = None,
         machine_factory=None,
         sleep=time.sleep,
     ) -> None:
@@ -309,6 +317,7 @@ class BatchRunner:
             lambda n_threads: MachineConfig(n_cores=n_threads)
         )
         self._sleep = sleep
+        self._st_cache: dict[tuple, SimResult] = {}
 
     # ------------------------------------------------------------------
     # one cell
@@ -320,6 +329,8 @@ class BatchRunner:
         name = spec.full_name
         key = f"{name}:{n_threads}"
         fault = self.fault_plan.get(key)
+        if isinstance(fault, str):
+            fault = make_fault(fault)
         attempts = 0
         delay = policy.backoff_s
         last_error: BaseException | None = None
@@ -377,18 +388,51 @@ class BatchRunner:
     ) -> ExperimentResult:
         machine = self._machine_factory(n_threads)
         mt_program = build_program(spec, n_threads, scale=self.scale)
-        st_program = build_program(spec, 1, scale=self.scale)
         if fault is not None:
             mt_program, machine = fault(mt_program, machine)
-        return run_experiment(
-            spec.full_name,
-            machine,
-            mt_program,
-            st_program,
+        st_result = self._st_reference(spec, machine)
+        ts = None if st_result.truncated else st_result.total_cycles
+        mt_result, report = run_accounted(
+            machine, mt_program,
             max_cycles=self.policy.max_cycles,
             livelock_window=self.policy.livelock_window,
             on_timeout="truncate",
         )
+        stack = build_stack(spec.full_name, report, ts_cycles=ts)
+        return ExperimentResult(
+            name=spec.full_name,
+            n_threads=mt_program.n_threads,
+            machine=machine,
+            stack=stack,
+            report=report,
+            mt_result=mt_result,
+            st_result=st_result,
+        )
+
+    def _st_reference(
+        self, spec: BenchmarkSpec, machine: MachineConfig
+    ) -> SimResult:
+        """Memoized single-threaded reference run for one cell.
+
+        The key covers everything the run depends on — the spec, the
+        scale, the single-core view of the (post-fault) machine, and
+        the watchdog limits — all frozen dataclasses or scalars.
+        """
+        key = (
+            spec, self.scale, machine.with_cores(1),
+            self.policy.max_cycles, self.policy.livelock_window,
+        )
+        st_result = self._st_cache.get(key)
+        if st_result is None:
+            st_program = build_program(spec, 1, scale=self.scale)
+            st_result = run_reference(
+                machine, st_program,
+                max_cycles=self.policy.max_cycles,
+                livelock_window=self.policy.livelock_window,
+                on_timeout="truncate",
+            )
+            self._st_cache[key] = st_result
+        return st_result
 
     # ------------------------------------------------------------------
     # the sweep

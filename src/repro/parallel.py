@@ -1,0 +1,415 @@
+"""Process-pool execution layer for suite sweeps.
+
+Sweep cells — one (benchmark, thread-count) experiment each — are
+embarrassingly parallel: every cell's result derives only from its
+:class:`~repro.workloads.spec.BenchmarkSpec` and the machine
+configuration, and all workload randomness is seeded per cell from
+:func:`repro.workloads.generators.seed_for`.  This module fans cells
+out across worker processes while keeping the *observable* behaviour of
+the serial :class:`~repro.experiments.runner.BatchRunner` path exactly:
+
+* **determinism** — a cell computes the same speedup stack in any
+  worker, in any order, at any ``--jobs`` value, because nothing about
+  a cell's inputs depends on the process running it (the differential
+  suite under ``tests/parallel/`` locks this down bit-for-bit);
+* **ordered collection** — results are collected and journaled in
+  submission order, so the journal file is byte-identical to a serial
+  sweep's regardless of completion order;
+* **parent-only journal writes** — workers never see the journal;
+  every append happens in the parent as a cell's result is collected
+  (the journal additionally refuses to save from a foreign process,
+  see :class:`~repro.robustness.journal.SweepJournal`);
+* **crash containment** — a worker dying (OOM kill, segfault,
+  interpreter abort) breaks the pool; the pool is rebuilt and the
+  affected cells are resubmitted or recorded as failures under the
+  existing retry/skip/abort :class:`~repro.experiments.runner.RunPolicy`.
+
+In-simulation failures (deadlock, livelock, parse errors) never cross
+the process boundary as exceptions: the worker classifies them into a
+:class:`CellResult` exactly like ``BatchRunner.run_cell`` does, so the
+retry/backoff behaviour runs inside the worker and only picklable value
+objects travel over the pipe.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor, BrokenExecutor
+from dataclasses import dataclass, replace
+
+from repro.accounting.report import AccountingReport
+from repro.core.stack import SpeedupStack
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    BatchRunner,
+    CELL_FAILED,
+    CELL_OK,
+    CELL_RESUMED,
+    CellOutcome,
+    RunPolicy,
+    SweepReport,
+)
+from repro.robustness.faults import FAULT_KINDS, make_fault
+from repro.robustness.journal import SweepJournal
+from repro.workloads.spec import BenchmarkSpec
+
+logger = logging.getLogger(__name__)
+
+#: test hook: a cell key in this environment variable makes the worker
+#: that picks it up die hard (``os._exit``), simulating an external
+#: worker kill (OOM killer, segfault) for the crash-recovery tests
+_KILL_ENV = "REPRO_TEST_KILL_CELL"
+
+#: error type recorded for cells lost to a dead worker process
+WORKER_CRASH = "WorkerCrashError"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Picklable description of one sweep cell.
+
+    Carries the full :class:`BenchmarkSpec` (a frozen value object), not
+    a name, so ad-hoc specs — test fixtures, scaled variants — work
+    without a suite lookup in the worker.  Faults are carried by *kind*
+    (a :data:`~repro.robustness.faults.FAULT_KINDS` name) plus seed and
+    rebuilt inside the worker: fault callables close over RNG state and
+    do not pickle.
+    """
+
+    spec: BenchmarkSpec
+    n_threads: int
+    scale: float = 1.0
+    #: named fault injected into this cell (None = healthy cell)
+    fault: str | None = None
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fault is not None and self.fault not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.fault!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.spec.full_name
+
+    @property
+    def key(self) -> str:
+        return f"{self.spec.full_name}:{self.n_threads}"
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Picklable outcome of one worker-executed cell.
+
+    The engine-level :class:`~repro.sim.engine.SimResult` holds live
+    generators and cannot cross a process boundary; this carries the
+    derived values every consumer (CLI, journal, differential tests)
+    actually reads: the full :class:`SpeedupStack`, the per-thread
+    :class:`AccountingReport`, and the instruction counts behind the
+    parallelization-overhead metric.
+    """
+
+    name: str
+    n_threads: int
+    status: str
+    attempts: int
+    stack: SpeedupStack | None = None
+    report: AccountingReport | None = None
+    total_cycles: int = 0
+    truncated: bool = False
+    mt_instrs: int = 0
+    mt_spin_instrs: int = 0
+    st_instrs: int = 0
+    error: str | None = None
+    error_type: str | None = None
+    snapshot: dict | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:{self.n_threads}"
+
+    @property
+    def actual_speedup(self) -> float | None:
+        return self.stack.actual_speedup if self.stack else None
+
+    @property
+    def estimated_speedup(self) -> float | None:
+        return self.stack.estimated_speedup if self.stack else None
+
+    @property
+    def parallelization_overhead(self) -> float | None:
+        """Same definition as
+        :attr:`~repro.experiments.runner.ExperimentResult.parallelization_overhead`."""
+        if self.st_instrs == 0:
+            return None
+        return (self.mt_instrs - self.mt_spin_instrs - self.st_instrs) / (
+            self.st_instrs
+        )
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+#: per-process BatchRunner cache, keyed by (policy, scale): keeps the
+#: single-threaded reference memo warm across all cells a worker runs
+_WORKER_RUNNERS: dict[tuple, BatchRunner] = {}
+
+
+def _worker_runner(policy: RunPolicy, scale: float) -> BatchRunner:
+    key = (policy, scale)
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = BatchRunner(policy=policy, scale=scale)
+        _WORKER_RUNNERS[key] = runner
+    return runner
+
+
+def run_cell_task(cell: CellSpec, policy: RunPolicy) -> CellResult:
+    """Execute one cell in the current process (the pool's entry point).
+
+    Runs the standard ``BatchRunner.run_cell`` protocol — fault
+    application, retry-with-backoff, outcome classification — and
+    reduces the outcome to a picklable :class:`CellResult`.  ``abort``
+    is enforced by the parent (a worker must never raise across the
+    pipe), so it is downgraded to ``skip`` here.
+    """
+    if os.environ.get(_KILL_ENV) == cell.key:
+        os._exit(17)  # simulated hard worker death (test hook)
+    if policy.on_error == "abort":
+        policy = replace(policy, on_error="skip")
+    runner = _worker_runner(policy, cell.scale)
+    if cell.fault is not None:
+        runner.fault_plan = {
+            cell.key: make_fault(cell.fault, cell.fault_seed)
+        }
+    else:
+        runner.fault_plan = {}
+    outcome = runner.run_cell(cell.spec, cell.n_threads)
+    if outcome.status == CELL_OK:
+        result = outcome.result
+        assert result is not None
+        return CellResult(
+            name=outcome.name,
+            n_threads=outcome.n_threads,
+            status=CELL_OK,
+            attempts=outcome.attempts,
+            stack=result.stack,
+            report=result.report,
+            total_cycles=result.mt_result.total_cycles,
+            truncated=result.mt_result.truncated,
+            mt_instrs=result.mt_result.total_instrs,
+            mt_spin_instrs=result.mt_result.total_spin_instrs,
+            st_instrs=(
+                result.st_result.total_instrs if result.st_result else 0
+            ),
+        )
+    return CellResult(
+        name=outcome.name,
+        n_threads=outcome.n_threads,
+        status=CELL_FAILED,
+        attempts=outcome.attempts,
+        error=outcome.error,
+        error_type=outcome.error_type,
+        snapshot=outcome.snapshot,
+    )
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+def _crashed_result(cell: CellSpec, attempts: int) -> CellResult:
+    return CellResult(
+        name=cell.name,
+        n_threads=cell.n_threads,
+        status=CELL_FAILED,
+        attempts=attempts,
+        error="worker process died while running this cell",
+        error_type=WORKER_CRASH,
+    )
+
+
+def _run_quarantined(
+    cell: CellSpec, policy: RunPolicy, max_attempts: int
+) -> CellResult:
+    """Re-run one crash suspect alone in single-worker pools.
+
+    With exactly one task per pool, a broken pool attributes the crash
+    to this cell beyond doubt; an innocent bystander of someone else's
+    crash simply completes on its first quarantined attempt.
+    """
+    attempts = 0
+    while attempts < max_attempts:
+        attempts += 1
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            try:
+                return pool.submit(run_cell_task, cell, policy).result()
+            except BrokenExecutor:
+                logger.warning(
+                    "cell %s crashed its worker (quarantined attempt %d/%d)",
+                    cell.key, attempts, max_attempts,
+                )
+    return _crashed_result(cell, attempts)
+
+
+def _execute_cells(
+    pending: list[tuple[int, CellSpec]],
+    jobs: int,
+    policy: RunPolicy,
+) -> dict[int, CellResult]:
+    """Run cells on a pool; survive worker deaths by rebuilding it.
+
+    When a worker dies, *every* unfinished future fails with
+    :class:`BrokenExecutor` and the true victim is not directly
+    observable.  The executor dispatches in submission order, so only
+    the first ``jobs`` unfinished cells can have been running on the
+    dead worker: those suspects are re-run one-per-pool
+    (:func:`_run_quarantined`) for exact attribution — a cell that
+    keeps killing its private worker becomes a :data:`WORKER_CRASH`
+    failure once it exhausts the policy's retry budget, innocent
+    bystanders just finish — while the still-queued remainder is
+    resubmitted to a rebuilt shared pool.
+    """
+    results: dict[int, CellResult] = {}
+    max_crash_attempts = 1 + (
+        policy.max_retries if policy.on_error == "retry" else 0
+    )
+    queue = list(pending)
+    while queue:
+        requeue: list[tuple[int, CellSpec]] = []
+        suspects: list[tuple[int, CellSpec]] = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                (index, cell, pool.submit(run_cell_task, cell, policy))
+                for index, cell in queue
+            ]
+            for index, cell, future in futures:
+                try:
+                    results[index] = future.result()
+                except BrokenExecutor:
+                    if len(suspects) < jobs:
+                        suspects.append((index, cell))
+                    else:
+                        requeue.append((index, cell))
+        if suspects:
+            logger.warning(
+                "worker pool broke; quarantining %d suspect cell(s), "
+                "requeueing %d", len(suspects), len(requeue),
+            )
+        for index, cell in suspects:
+            results[index] = _run_quarantined(
+                cell, policy, max_crash_attempts
+            )
+        queue = requeue
+    return results
+
+
+def run_parallel_sweep(
+    cells: list[CellSpec],
+    jobs: int,
+    policy: RunPolicy | None = None,
+    journal: SweepJournal | None = None,
+    resume: bool = False,
+) -> SweepReport:
+    """Fan a sweep out over ``jobs`` worker processes.
+
+    The drop-in parallel counterpart of
+    :meth:`~repro.experiments.runner.BatchRunner.run_sweep`: same
+    resume semantics, same journal records (written by the parent, in
+    submission order), same :class:`SweepReport` shape — each ok/failed
+    outcome's ``result`` is a :class:`CellResult` instead of an
+    ``ExperimentResult``, but exposes the same ``stack`` /
+    ``actual_speedup`` surface the CLI and tests consume.  With
+    ``on_error="abort"`` the first failed cell raises
+    :class:`~repro.errors.ExperimentError` after in-order journaling of
+    the cells before it.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    policy = policy or RunPolicy()
+    journal = journal or SweepJournal(None)
+
+    outcomes: list[CellOutcome | None] = []
+    pending: list[tuple[int, CellSpec]] = []
+    for index, cell in enumerate(cells):
+        if resume and journal.completed(cell.name, cell.n_threads):
+            logger.info("resume: skipping completed cell %s", cell.key)
+            outcomes.append(CellOutcome(
+                name=cell.name,
+                n_threads=cell.n_threads,
+                status=CELL_RESUMED,
+            ))
+        else:
+            outcomes.append(None)
+            pending.append((index, cell))
+
+    results = _execute_cells(pending, jobs, policy)
+
+    report = SweepReport()
+    for index, outcome in enumerate(outcomes):
+        if outcome is not None:  # resumed
+            report.outcomes.append(outcome)
+            continue
+        result = results[index]
+        if result.status == CELL_FAILED and policy.on_error == "abort":
+            # match the serial runner: abort raises before the failing
+            # cell's record hits the journal
+            raise ExperimentError(
+                result.name, result.n_threads,
+                result.error or "cell failed",
+            )
+        if result.status == CELL_OK:
+            journal.record_ok(
+                result.name, result.n_threads,
+                attempts=result.attempts,
+                total_cycles=result.total_cycles,
+                truncated=result.truncated,
+            )
+        else:
+            journal.record_failure(
+                result.name, result.n_threads,
+                attempts=result.attempts,
+                error=result.error or "",
+                error_type=result.error_type or "",
+                snapshot=result.snapshot,
+            )
+        report.outcomes.append(CellOutcome(
+            name=result.name,
+            n_threads=result.n_threads,
+            status=result.status,
+            attempts=result.attempts,
+            result=result if result.status == CELL_OK else None,
+            error=result.error,
+            error_type=result.error_type,
+            snapshot=result.snapshot,
+        ))
+    logger.info(
+        "parallel sweep done (%d jobs): %d ok, %d resumed, %d failed",
+        jobs, len(report.completed), len(report.resumed),
+        len(report.failures),
+    )
+    return report
+
+
+def cells_from_sweep(
+    sweep: list[tuple[BenchmarkSpec, int]],
+    scale: float = 1.0,
+    fault_kinds: dict[str, str] | None = None,
+) -> list[CellSpec]:
+    """Adapt ``suite.sweep_cells`` output (and the CLI's fault-kind
+    plan) to :class:`CellSpec` values."""
+    fault_kinds = fault_kinds or {}
+    return [
+        CellSpec(
+            spec=spec,
+            n_threads=n_threads,
+            scale=scale,
+            fault=fault_kinds.get(f"{spec.full_name}:{n_threads}"),
+        )
+        for spec, n_threads in sweep
+    ]

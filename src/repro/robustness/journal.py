@@ -50,6 +50,11 @@ class SweepJournal:
     def __init__(self, path: str | None = None) -> None:
         self.path = path
         self.cells: dict[str, dict] = {}
+        # Journal writes must stay in the process that opened it: the
+        # parallel sweep driver ships a journal-less runner to its
+        # workers and appends records in the parent as results come
+        # back, so two finishing cells can never interleave a write.
+        self._owner_pid = os.getpid()
         if path is not None and os.path.exists(path):
             self._load(path)
 
@@ -126,6 +131,12 @@ class SweepJournal:
 
     def save(self) -> None:
         """Atomic write so a crash mid-save never corrupts the journal."""
+        if os.getpid() != self._owner_pid:
+            raise RuntimeError(
+                "journal writes must go through the owning (parent) "
+                f"process (owner pid {self._owner_pid}, "
+                f"caller pid {os.getpid()})"
+            )
         if self.path is None:
             return
         payload = {"version": JOURNAL_VERSION, "cells": self.cells}

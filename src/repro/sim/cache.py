@@ -13,7 +13,7 @@ configuration), FIFO (hits do not promote), and seeded-random
 from __future__ import annotations
 
 import random
-from collections import OrderedDict
+from collections import OrderedDict, defaultdict
 
 from repro.config import CacheConfig
 from repro.sim.address import CacheGeometry
@@ -26,33 +26,53 @@ class SetAssocCache:
     the set index and tag are derived internally.  Each set is an
     ``OrderedDict`` from line address to a dirty flag, ordered from
     eviction candidate (front) to most recently inserted/used (back).
+
+    With ``sparse=True`` the per-set dictionaries are materialized on
+    first touch instead of all up front.  Set-sampled users (the ATDs,
+    which only ever probe one in ``sample_period`` sets) pay O(touched
+    sets) instead of O(n_sets) per construction; dense users (L1, LLC)
+    keep the eagerly built list, whose indexing is cheapest on the hot
+    path.  Both layouts are indexed identically.
     """
 
-    __slots__ = ("geometry", "assoc", "_sets", "n_hits", "n_misses",
-                 "n_evictions", "_promote_on_hit", "_rng")
+    __slots__ = ("geometry", "assoc", "generation", "_sets", "n_hits",
+                 "n_misses", "n_evictions", "_promote_on_hit", "_rng",
+                 "_set_mask", "_replacement_seed", "_sparse")
 
-    def __init__(self, config: CacheConfig) -> None:
+    def __init__(self, config: CacheConfig, *, sparse: bool = False) -> None:
         self.geometry = CacheGeometry.from_config(config)
         self.assoc = config.assoc
-        self._sets: list[OrderedDict[int, bool]] = [
-            OrderedDict() for _ in range(config.n_sets)
-        ]
+        self._set_mask = config.n_sets - 1
+        self._sparse = sparse
+        if sparse:
+            self._sets: defaultdict[int, OrderedDict[int, bool]] = (
+                defaultdict(OrderedDict)
+            )
+        else:
+            self._sets = [OrderedDict() for _ in range(config.n_sets)]
         self.n_hits = 0
         self.n_misses = 0
         self.n_evictions = 0
+        #: bumped by :meth:`reset`; lets pooled users detect staleness
+        self.generation = 0
         self._promote_on_hit = config.replacement == "lru"
-        self._rng = (
-            random.Random(config.size_bytes ^ config.assoc)
+        self._replacement_seed = (
+            config.size_bytes ^ config.assoc
             if config.replacement == "random"
+            else None
+        )
+        self._rng = (
+            random.Random(self._replacement_seed)
+            if self._replacement_seed is not None
             else None
         )
 
     def set_index_of(self, line_addr: int) -> int:
-        return line_addr & (self.geometry.n_sets - 1)
+        return line_addr & self._set_mask
 
     def lookup(self, line_addr: int, *, update_lru: bool = True) -> bool:
         """Probe the cache; on a hit optionally promote the line to MRU."""
-        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        cache_set = self._sets[line_addr & self._set_mask]
         if line_addr in cache_set:
             if update_lru and self._promote_on_hit:
                 cache_set.move_to_end(line_addr)
@@ -63,7 +83,7 @@ class SetAssocCache:
 
     def contains(self, line_addr: int) -> bool:
         """Probe without disturbing LRU order or hit/miss counters."""
-        return line_addr in self._sets[line_addr & (self.geometry.n_sets - 1)]
+        return line_addr in self._sets[line_addr & self._set_mask]
 
     def fill(
         self, line_addr: int, *, dirty: bool = False, owner: int = 0
@@ -72,7 +92,7 @@ class SetAssocCache:
         the insertion evicted a line, else ``None``.  ``owner`` is
         accepted for interface compatibility with the way-partitioned
         variant and ignored here (fully shared ways)."""
-        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        cache_set = self._sets[line_addr & self._set_mask]
         if line_addr in cache_set:
             cache_set.move_to_end(line_addr)
             cache_set[line_addr] = cache_set[line_addr] or dirty
@@ -88,23 +108,77 @@ class SetAssocCache:
         cache_set[line_addr] = dirty
         return victim
 
+    def warm_fill(
+        self, line_addr: int, *, promote: bool = False, owner: int = 0
+    ) -> tuple[int, bool] | None:
+        """Untimed warmup insert: one probe, no hit/miss counter churn.
+
+        A resident line is left where it is (``promote=False``, the LLC
+        warmup semantics: warming must not reorder an already-steady
+        set) or promoted under the replacement policy's normal hit rule
+        (``promote=True``, the ATD warmup semantics, equivalent to an
+        uncounted ``lookup``).  An absent line is inserted exactly like
+        :meth:`fill`, including eviction accounting and RNG draws, so a
+        warmed cache is bit-identical to one warmed via the old
+        ``contains`` + ``fill`` / counter-rollback sequences.
+        """
+        cache_set = self._sets[line_addr & self._set_mask]
+        if line_addr in cache_set:
+            if promote and self._promote_on_hit:
+                cache_set.move_to_end(line_addr)
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            if self._rng is not None:
+                victim_line = self._rng.choice(list(cache_set))
+                victim = (victim_line, cache_set.pop(victim_line))
+            else:
+                victim = cache_set.popitem(last=False)
+            self.n_evictions += 1
+        cache_set[line_addr] = False
+        return victim
+
     def mark_dirty(self, line_addr: int) -> None:
-        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        cache_set = self._sets[line_addr & self._set_mask]
         if line_addr in cache_set:
             cache_set[line_addr] = True
 
     def invalidate(self, line_addr: int) -> bool:
         """Drop a line (coherence invalidation or inclusion victim)."""
-        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        cache_set = self._sets[line_addr & self._set_mask]
         if line_addr in cache_set:
             del cache_set[line_addr]
             return True
         return False
 
+    def reset(self) -> None:
+        """Return to the post-construction state without rebuilding the
+        per-set dictionaries: occupied sets are cleared in place, the
+        counters zeroed, the replacement RNG re-seeded, and the
+        ``generation`` counter bumped.  Pooled users (repeated cells in
+        a sweep, benchmark harnesses) call this instead of allocating
+        ``n_sets`` fresh ``OrderedDict`` objects per run."""
+        if self._sparse:
+            self._sets.clear()
+        else:
+            for cache_set in self._sets:
+                if cache_set:
+                    cache_set.clear()
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_evictions = 0
+        if self._replacement_seed is not None:
+            self._rng = random.Random(self._replacement_seed)
+        self.generation += 1
+
     def occupancy(self) -> int:
         """Total number of valid lines (for tests and introspection)."""
+        if self._sparse:
+            return sum(len(s) for s in self._sets.values())
         return sum(len(s) for s in self._sets)
 
     def lines_in_set(self, set_index: int) -> list[int]:
         """Line addresses in one set, LRU first (for tests)."""
+        if self._sparse:
+            return list(self._sets.get(set_index, ()))
         return list(self._sets[set_index].keys())

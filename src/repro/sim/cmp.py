@@ -113,6 +113,9 @@ class Chip:
         self._mem_state = [_CoreMemState() for _ in range(self.n_cores)]
         self._l1_geometry = self.l1d[0].geometry
         self._llc_geometry = self.llc.geometry
+        self._l1_line_shift = self._l1_geometry._line_shift
+        self._llc_line_shift = self._llc_geometry._line_shift
+        self._llc_set_mask = self._llc_geometry._set_mask
         self._l1_stall = max(0, machine.l1d.hit_latency - machine.l1d.hidden_latency)
         self._llc_stall = max(0, machine.llc.hit_latency - machine.llc.hidden_latency)
 
@@ -152,7 +155,7 @@ class Chip:
             version, writer = self.directory.load_value(addr)
             accountant.on_retired_load(core_id, pc, addr, version, writer, now)
 
-        line = self._l1_geometry.line_addr(addr)
+        line = addr >> self._l1_line_shift
         if self.l1d[core_id].lookup(line):
             stats.l1_hits += 1
             stall = self._track_inflight(core_id, 1, now)
@@ -177,7 +180,7 @@ class Chip:
         stats.stores += 1
 
         self.directory.record_store(addr, core_id)
-        line = self._l1_geometry.line_addr(addr)
+        line = addr >> self._l1_line_shift
         victims = self.directory.write_invalidate(line, core_id)
         if victims:
             for victim_core in victims:
@@ -203,19 +206,23 @@ class Chip:
         the paper's methodology of measuring only the parallel fraction
         (after the sequential initialization has populated the caches).
         """
-        line = self._l1_geometry.line_addr(addr)
-        set_index = self._llc_geometry.set_index(addr)
-        if not self.llc.contains(line):
-            victim = self.llc.fill(line, owner=core_id)
-            if victim is not None:
-                victim_line, _ = victim
-                for victim_core in self.directory.drop_line(victim_line):
-                    self.l1d[victim_core].invalidate(victim_line)
-        self.accountant.warm_llc_access(core_id, line, set_index)
+        line = addr >> self._l1_line_shift
+        directory = self.directory
+        victim = self.llc.warm_fill(line, owner=core_id)
+        if victim is not None:
+            victim_line = victim[0]
+            for victim_core in directory.drop_line(victim_line):
+                self.l1d[victim_core].invalidate(victim_line)
+        accountant = self.accountant
+        if accountant.enabled:
+            accountant.warm_llc_access(
+                core_id, line,
+                (addr >> self._llc_line_shift) & self._llc_set_mask,
+            )
         l1_victim = self.l1d[core_id].fill(line)
         if l1_victim is not None:
-            self.directory.remove_sharer(l1_victim[0], core_id)
-        self.directory.add_sharer(line, core_id)
+            directory.remove_sharer(l1_victim[0], core_id)
+        directory.add_sharer(line, core_id)
 
     def drain(self, core_id: int, now: int) -> int:
         """Force completion of all outstanding misses (sync boundary,
@@ -256,7 +263,7 @@ class Chip:
         if coherency_miss:
             stats.coherency_misses += 1
 
-        set_index = self._llc_geometry.set_index(addr)
+        set_index = (addr >> self._llc_line_shift) & self._llc_set_mask
         shared_hit = self.llc.lookup(line)
         classification = self.accountant.classify_llc_access(
             core_id, line, set_index, shared_hit, is_load

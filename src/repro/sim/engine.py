@@ -129,12 +129,17 @@ class Simulation:
         accountant=NULL_ACCOUNTANT,
         trace=None,
         barrier_observer=None,
+        fast_forward: bool = True,
     ) -> None:
         self.machine = machine
         self.program = program
         self.accountant = accountant
         self.trace = trace
         self.barrier_observer = barrier_observer
+        #: instruction-block fast-forward through quiescent regions; off
+        #: switches back to the one-op-per-iteration reference loop (the
+        #: two must produce identical results — see tests/parallel/)
+        self.fast_forward = fast_forward
         self.chip = Chip(machine, accountant)
         self.sync = SyncManager(
             program.n_threads,
@@ -150,6 +155,7 @@ class Simulation:
             thread.core_id = core.core_id
             core.queue.append(thread)
         self._n_finished = 0
+        self._ff_limit = _INFINITY
         self._dispatch_cost = (
             machine.sched.context_switch_cycles
             + machine.sched.overhead_per_core_cycles * machine.n_cores
@@ -187,6 +193,7 @@ class Simulation:
             raise ValueError(f"on_timeout must be raise|truncate: {on_timeout!r}")
         self._warm_caches()
         n_threads = len(self.threads)
+        fast_forward = self.fast_forward
         steps = 0
         last_progress = self._progress_metric()
         last_progress_time = 0
@@ -218,6 +225,10 @@ class Simulation:
                         f"at t={core.now}"
                     ))
             self._step(core)
+            if fast_forward:
+                steps = self._fast_forward_block(
+                    core, max_cycles, livelock_window, steps
+                )
         total = max(t.end_time for t in self.threads)
         logger.debug(
             "run complete: %d threads, %d cycles", n_threads, total
@@ -285,22 +296,23 @@ class Simulation:
         if not warmup:
             return
         n_cores = self.machine.n_cores
-        chip = self.chip
+        warm_line = self.chip.warm_line
         iters = [iter(addrs) for addrs in warmup]
-        live = list(range(len(iters)))
+        live = [(tid, tid % n_cores, iters[tid]) for tid in range(len(iters))]
         while live:
             still_live = []
-            for tid in live:
-                addr = next(iters[tid], None)
+            for entry in live:
+                addr = next(entry[2], None)
                 if addr is None:
                     continue
-                chip.warm_line(tid % n_cores, addr)
-                still_live.append(tid)
+                warm_line(entry[1], addr)
+                still_live.append(entry)
             live = still_live
 
     def _pick_core(self) -> _CoreRuntime | None:
         best: _CoreRuntime | None = None
         best_time = _INFINITY
+        second_time = _INFINITY
         for core in self.cores:
             if core.current is not None:
                 avail = core.now
@@ -310,8 +322,14 @@ class Simulation:
             else:
                 continue
             if avail < best_time:
+                second_time = best_time
                 best_time = avail
                 best = core
+            elif avail < second_time:
+                second_time = avail
+        # The earliest instant any *other* core could act — the horizon
+        # the fast-forward block may run to without a global reschedule.
+        self._ff_limit = second_time
         if best is not None and best.current is None and best_time > best.now:
             best.now = int(best_time)
         return best
@@ -367,9 +385,93 @@ class Simulation:
                 return thread
         return None
 
+    # ------------------------------------------------------------------
+    # quiescent-region fast-forward
+    # ------------------------------------------------------------------
+
+    def _fast_forward_block(
+        self,
+        core: _CoreRuntime,
+        max_cycles: int | None,
+        livelock_window: int | None,
+        steps: int,
+    ) -> int:
+        """Execute a block of ops on ``core`` without returning to the
+        global scheduling loop, and return the updated step count.
+
+        This is purely an optimization: an op is executed here only when
+        the serial reference loop would inevitably execute exactly that
+        op next.  The preconditions guarantee it:
+
+        * ``core`` is *strictly* the earliest-available core (it stays
+          that way while its clock is below ``limit``, since plain
+          compute/memory ops never change another core's availability);
+        * its thread is running and not spinning, and the local run
+          queue is empty — so there is no dispatch, preemption, or spin
+          state machine to consult between ops;
+        * the block stops *before* a step on which the engine watchdog
+          would run, and never executes an op past ``max_cycles`` — so
+          watchdog progress checks fire on exactly the same step index
+          and engine state as in the reference loop;
+        * any synchronization op is executed through the same handler
+          the reference loop uses, and then ends the block (sync can
+          wake threads, invalidating the cached ``limit``).
+
+        Differential and property tests assert that a run with
+        ``fast_forward`` off is identical, component for component.
+        """
+        limit = self._ff_limit
+        thread = core.current
+        if (core.now >= limit or thread is None or thread.spin is not None
+                or core.queue):
+            return steps
+        chip = self.chip
+        stats = chip.stats[core.core_id]
+        cid = core.core_id
+        width = self._width
+        body = thread.body
+        block_start = core.now
+        while core.now < limit:
+            if max_cycles is not None and core.now > max_cycles:
+                break
+            if (livelock_window is not None
+                    and (steps + 1) % _WATCHDOG_STRIDE == 0):
+                break
+            op = next(body, None)
+            steps += 1
+            if op is None:
+                self._finish_thread(core, thread)
+                break
+            tag = op.TAG
+            now = core.now
+            if tag == TAG_COMPUTE:
+                n = op.n
+                thread.instrs += n
+                core.now = now + (-(-n // width)) + chip.compute(cid, n, now)
+            elif tag == TAG_LOAD:
+                thread.instrs += 1
+                core.now = now + 1 + chip.load(
+                    cid, op.addr, op.pc, now,
+                    overlappable=op.overlappable, dependent=op.dependent,
+                )
+            elif tag == TAG_STORE:
+                thread.instrs += 1
+                core.now = now + 1 + chip.store(cid, op.addr, op.pc, now)
+            else:
+                self._execute_sync_op(core, thread, op, tag)
+                delta = core.now - block_start
+                core.busy_cycles += delta
+                stats.busy_cycles += delta
+                self._maybe_preempt(core)
+                return steps
+        delta = core.now - block_start
+        core.busy_cycles += delta
+        stats.busy_cycles += delta
+        return steps
+
     def _maybe_preempt(self, core: _CoreRuntime) -> None:
         thread = core.current
-        if thread is None:
+        if thread is None or not core.queue:
             return
         if core.now - thread.run_start < self.machine.sched.timeslice_cycles:
             return
@@ -411,7 +513,15 @@ class Simulation:
         elif tag == TAG_STORE:
             thread.instrs += 1
             core.now = now + 1 + chip.store(cid, op.addr, op.pc, now)
-        elif tag == TAG_LOCK_ACQUIRE:
+        else:
+            self._execute_sync_op(core, thread, op, tag)
+
+    def _execute_sync_op(self, core: _CoreRuntime, thread: SoftwareThread,
+                         op, tag: int) -> None:
+        """Execute a synchronization/scheduling op (shared between the
+        reference loop and the fast-forward block)."""
+        cid = core.core_id
+        if tag == TAG_LOCK_ACQUIRE:
             self._lock_acquire(core, thread, self.sync.lock(op.lock_id))
         elif tag == TAG_LOCK_RELEASE:
             self._lock_release(core, thread, self.sync.lock(op.lock_id))
@@ -640,9 +750,11 @@ def simulate(
     max_cycles: int | None = None,
     livelock_window: int | None = None,
     on_timeout: str = "raise",
+    fast_forward: bool = True,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
-    return Simulation(machine, program, accountant).run(
+    return Simulation(machine, program, accountant,
+                      fast_forward=fast_forward).run(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,

@@ -36,8 +36,8 @@ class WayPartitionedCache:
     except that :meth:`fill` takes the filling core (``owner``).
     """
 
-    __slots__ = ("geometry", "assoc", "quotas", "_sets", "_owners",
-                 "n_hits", "n_misses", "n_evictions")
+    __slots__ = ("geometry", "assoc", "quotas", "generation", "_sets",
+                 "_owners", "n_hits", "n_misses", "n_evictions", "_set_mask")
 
     def __init__(self, config: CacheConfig, quotas: tuple[int, ...]) -> None:
         if sum(quotas) > config.assoc:
@@ -49,6 +49,7 @@ class WayPartitionedCache:
         self.geometry = CacheGeometry.from_config(config)
         self.assoc = config.assoc
         self.quotas = quotas
+        self._set_mask = config.n_sets - 1
         #: per set: line -> dirty, in eviction order per insertion/use
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(config.n_sets)
@@ -60,11 +61,12 @@ class WayPartitionedCache:
         self.n_hits = 0
         self.n_misses = 0
         self.n_evictions = 0
+        self.generation = 0
 
     # -- SetAssocCache-compatible surface ---------------------------------
 
     def lookup(self, line_addr: int, *, update_lru: bool = True) -> bool:
-        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        cache_set = self._sets[line_addr & self._set_mask]
         if line_addr in cache_set:
             if update_lru:
                 cache_set.move_to_end(line_addr)
@@ -74,21 +76,32 @@ class WayPartitionedCache:
         return False
 
     def contains(self, line_addr: int) -> bool:
-        return line_addr in self._sets[line_addr & (self.geometry.n_sets - 1)]
+        return line_addr in self._sets[line_addr & self._set_mask]
 
     def mark_dirty(self, line_addr: int) -> None:
-        cache_set = self._sets[line_addr & (self.geometry.n_sets - 1)]
+        cache_set = self._sets[line_addr & self._set_mask]
         if line_addr in cache_set:
             cache_set[line_addr] = True
 
     def invalidate(self, line_addr: int) -> bool:
-        index = line_addr & (self.geometry.n_sets - 1)
+        index = line_addr & self._set_mask
         cache_set = self._sets[index]
         if line_addr in cache_set:
             del cache_set[line_addr]
             self._owners[index].pop(line_addr, None)
             return True
         return False
+
+    def reset(self) -> None:
+        """In-place reset (see :meth:`SetAssocCache.reset`)."""
+        for index, cache_set in enumerate(self._sets):
+            if cache_set:
+                cache_set.clear()
+                self._owners[index].clear()
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_evictions = 0
+        self.generation += 1
 
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
@@ -99,7 +112,7 @@ class WayPartitionedCache:
     # -- partition-aware fill ----------------------------------------------
 
     def owner_of(self, line_addr: int) -> int | None:
-        index = line_addr & (self.geometry.n_sets - 1)
+        index = line_addr & self._set_mask
         return self._owners[index].get(line_addr)
 
     def owned_in_set(self, set_index: int, core: int) -> int:
@@ -111,7 +124,7 @@ class WayPartitionedCache:
         self, line_addr: int, *, dirty: bool = False, owner: int = 0
     ) -> tuple[int, bool] | None:
         """Insert a line for ``owner``; evict within its partition."""
-        index = line_addr & (self.geometry.n_sets - 1)
+        index = line_addr & self._set_mask
         cache_set = self._sets[index]
         owners = self._owners[index]
         if line_addr in cache_set:
@@ -135,6 +148,36 @@ class WayPartitionedCache:
             owners.pop(victim_line, None)
             self.n_evictions += 1
         cache_set[line_addr] = dirty
+        owners[line_addr] = owner
+        return victim
+
+    def warm_fill(
+        self, line_addr: int, *, promote: bool = False, owner: int = 0
+    ) -> tuple[int, bool] | None:
+        """Untimed warmup insert (see :meth:`SetAssocCache.warm_fill`).
+
+        A resident line keeps its position *and* its current owner —
+        warming an already-warm line must not transfer quota."""
+        index = line_addr & self._set_mask
+        cache_set = self._sets[index]
+        if line_addr in cache_set:
+            if promote:
+                cache_set.move_to_end(line_addr)
+            return None
+        owners = self._owners[index]
+        victim = None
+        quota = self.quotas[owner] if owner < len(self.quotas) else 1
+        if self.owned_in_set(index, owner) >= quota:
+            victim_line = self._lru_line_of(index, owner)
+            victim = (victim_line, cache_set.pop(victim_line))
+            owners.pop(victim_line, None)
+            self.n_evictions += 1
+        elif len(cache_set) >= self.assoc:
+            victim_line = self._lru_line_over_quota(index)
+            victim = (victim_line, cache_set.pop(victim_line))
+            owners.pop(victim_line, None)
+            self.n_evictions += 1
+        cache_set[line_addr] = False
         owners[line_addr] = owner
         return victim
 

@@ -282,7 +282,7 @@ def _thread_body(spec: BenchmarkSpec, tid: int, n_threads: int):
                     if step > 0:
                         yield Compute(step)
                         emitted += step
-                    yield from _mem_access(
+                    yield _mem_access(
                         spec, rng, private, shared, cold, stream, tid
                     )
                 if emitted < compute_budget:
@@ -314,34 +314,34 @@ def _thread_body(spec: BenchmarkSpec, tid: int, n_threads: int):
 
 def _mem_access(spec: BenchmarkSpec, rng: random.Random, private, shared,
                 cold, stream, tid: int):
-    """Emit one memory access according to the spec's mix."""
+    """One memory access according to the spec's mix.
+
+    A plain function (not a generator): the thread body yields the
+    returned op directly, avoiding one generator object and a ``yield
+    from`` frame per memory access on the synthesis hot path.  The RNG
+    draw order is part of the workload definition and must not change.
+    """
     if stream is not None and rng.random() < spec.stream_fraction:
         if rng.random() < spec.stream_produce_fraction:
-            yield Store(stream.produce_addr(), PC_WORK_STORE)
-            return
+            return Store(stream.produce_addr(), PC_WORK_STORE)
         addr = stream.consume_addr()
         if addr is None:
-            yield Store(stream.produce_addr(), PC_WORK_STORE)
-        else:
-            yield Load(addr, PC_WORK_LOAD)
-        return
+            return Store(stream.produce_addr(), PC_WORK_STORE)
+        return Load(addr, PC_WORK_LOAD)
     if shared is not None and rng.random() < spec.shared_fraction:
         addr = shared.next_addr()
         if rng.random() < spec.shared_store_fraction:
-            yield Store(addr, PC_WORK_STORE)
-        else:
-            yield Load(addr, PC_WORK_LOAD)
-        return
+            return Store(addr, PC_WORK_STORE)
+        return Load(addr, PC_WORK_LOAD)
     if cold is not None and rng.random() < spec.cold_fraction:
         dependent = (
             spec.dependent_fraction > 0
             and rng.random() < spec.dependent_fraction
         )
-        yield Load(
+        return Load(
             cold.next_addr(), PC_WORK_LOAD,
             overlappable=not dependent, dependent=dependent,
         )
-        return
     addr = private.next_addr()
     if rng.random() < spec.store_fraction:
         if (
@@ -351,12 +351,11 @@ def _mem_access(spec: BenchmarkSpec, rng: random.Random, private, shared,
             # own word of a hot shared line: pure coherency ping-pong
             line = rng.randrange(spec.false_sharing_lines)
             addr = FALSE_SHARING_BASE + line * g.LINE + (tid % 8) * 8
-        yield Store(addr, PC_WORK_STORE)
-    else:
-        dependent = (
-            spec.dependent_fraction > 0
-            and rng.random() < spec.dependent_fraction
-        )
-        yield Load(
-            addr, PC_WORK_LOAD, overlappable=not dependent, dependent=dependent
-        )
+        return Store(addr, PC_WORK_STORE)
+    dependent = (
+        spec.dependent_fraction > 0
+        and rng.random() < spec.dependent_fraction
+    )
+    return Load(
+        addr, PC_WORK_LOAD, overlappable=not dependent, dependent=dependent
+    )

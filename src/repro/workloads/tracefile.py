@@ -104,13 +104,15 @@ def _parse_op(tokens: list[str], line_no: int, source: str) -> Op:
     raise TraceParseError(f"unknown op {kind!r}", source, line_no)
 
 
-def parse_trace(text: str, name: str = "trace") -> Program:
-    """Parse a text trace into a runnable program.
+#: decoded-trace memo: (name, text) -> per-thread op tuples.  Ops are
+#: immutable value objects, so decoded streams can be shared between
+#: every Program built from the same trace text (repeated cells of a
+#: sweep, retries, the single- and multi-threaded runs of one cell).
+_DECODE_CACHE: dict[tuple[str, str], tuple[tuple[Op, ...], ...]] = {}
+_DECODE_CACHE_MAX = 64
 
-    Malformed lines raise :class:`~repro.errors.TraceParseError` (a
-    :class:`~repro.errors.ConfigError`) carrying ``name`` and the
-    1-based line number of the offending line.
-    """
+
+def _decode_trace(text: str, name: str) -> tuple[tuple[Op, ...], ...]:
     per_thread: dict[int, list[Op]] = {}
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
@@ -133,8 +135,28 @@ def parse_trace(text: str, name: str = "trace") -> Program:
     if not per_thread:
         raise TraceParseError("trace contains no ops", name)
     n_threads = max(per_thread) + 1
-    bodies = [iter(per_thread.get(tid, [])) for tid in range(n_threads)]
-    return Program(name, bodies)
+    return tuple(
+        tuple(per_thread.get(tid, ())) for tid in range(n_threads)
+    )
+
+
+def parse_trace(text: str, name: str = "trace") -> Program:
+    """Parse a text trace into a runnable program.
+
+    Malformed lines raise :class:`~repro.errors.TraceParseError` (a
+    :class:`~repro.errors.ConfigError`) carrying ``name`` and the
+    1-based line number of the offending line.  Decoding is memoized on
+    the trace text; each call still returns a fresh :class:`Program`
+    with independent per-thread iterators.
+    """
+    key = (name, text)
+    ops = _DECODE_CACHE.get(key)
+    if ops is None:
+        ops = _decode_trace(text, name)
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+            _DECODE_CACHE.pop(next(iter(_DECODE_CACHE)))
+        _DECODE_CACHE[key] = ops
+    return Program(name, [iter(thread_ops) for thread_ops in ops])
 
 
 def load_trace(path: str, name: str | None = None) -> Program:

@@ -8,6 +8,14 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden speedup-stack fixtures under "
+             "tests/golden/fixtures/ instead of comparing against them",
+    )
+
 from repro.config import KB, MB, CacheConfig, MachineConfig
 from repro.workloads.program import (
     BarrierWait,

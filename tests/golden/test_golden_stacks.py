@@ -1,0 +1,140 @@
+"""Golden speedup-stack regression tests.
+
+Each fixture under ``tests/golden/fixtures/`` pins the *complete*
+observable output of one (benchmark, thread-count) experiment cell —
+every Eq. 4 stack component, both speedup numbers, the Eq. 6 estimation
+error, and the raw cycle counts.  The simulator is integer-cycle
+deterministic, so the comparison is exact: any engine, cache, accounting
+or workload change that shifts a single component by any amount fails
+here with a component-level diff.
+
+After an *intended* behaviour change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.experiments.runner import run_experiment
+from repro.workloads.spec import build_program
+from repro.workloads.suite import by_name
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: the pinned cells: three scaling personalities (synchronization-bound,
+#: imbalance-heavy, embarrassingly parallel) at a scaling-friendly and a
+#: scaling-hostile thread count
+GOLDEN_CELLS = [
+    ("cholesky", 2),
+    ("cholesky", 16),
+    ("facesim_small", 2),
+    ("facesim_small", 16),
+    ("blackscholes_small", 2),
+    ("blackscholes_small", 16),
+]
+SCALE = 0.2
+MAX_CYCLES = 20_000_000
+
+
+def _fixture_path(name: str, n_threads: int) -> Path:
+    return FIXTURES / f"{name}_n{n_threads}.json"
+
+
+def stack_to_dict(stack) -> dict:
+    """Flatten a SpeedupStack into the golden-fixture schema."""
+    return {
+        "name": stack.name,
+        "n_threads": stack.n_threads,
+        "tp_cycles": stack.tp_cycles,
+        "ts_cycles": stack.ts_cycles,
+        "truncated": stack.truncated,
+        "components": dict(stack.segments()),
+        "actual_speedup": stack.actual_speedup,
+        "estimated_speedup": stack.estimated_speedup,
+        "estimation_error": stack.estimation_error,
+    }
+
+
+def diff_stacks(expected: dict, actual: dict) -> list[str]:
+    """Component-level diff, one line per divergent field."""
+    lines = []
+    keys = sorted(set(expected) | set(actual))
+    for key in keys:
+        exp, act = expected.get(key), actual.get(key)
+        if key == "components":
+            comp_keys = sorted(set(exp or {}) | set(act or {}))
+            for comp in comp_keys:
+                e, a = (exp or {}).get(comp), (act or {}).get(comp)
+                if e != a:
+                    delta = (
+                        f" (delta {a - e:+.6g})"
+                        if isinstance(e, (int, float))
+                        and isinstance(a, (int, float)) else ""
+                    )
+                    lines.append(
+                        f"components.{comp}: expected {e!r}, got {a!r}{delta}"
+                    )
+        elif exp != act:
+            lines.append(f"{key}: expected {exp!r}, got {act!r}")
+    return lines
+
+
+def _run_cell(name: str, n_threads: int):
+    spec = by_name(name)
+    machine = MachineConfig(n_cores=n_threads)
+    return run_experiment(
+        spec.full_name, machine,
+        build_program(spec, n_threads, scale=SCALE),
+        build_program(spec, 1, scale=SCALE),
+        max_cycles=MAX_CYCLES,
+        on_timeout="truncate",
+    )
+
+
+@pytest.mark.parametrize(
+    "name,n_threads", GOLDEN_CELLS,
+    ids=[f"{n}:{t}" for n, t in GOLDEN_CELLS],
+)
+def test_golden_stack(name, n_threads, request):
+    result = _run_cell(name, n_threads)
+    actual = stack_to_dict(result.stack)
+    path = _fixture_path(name, n_threads)
+    if request.config.getoption("--update-golden"):
+        FIXTURES.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1) + "\n")
+        pytest.skip(f"golden fixture rewritten: {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate with --update-golden"
+    )
+    expected = json.loads(path.read_text())
+    diff = diff_stacks(expected, actual)
+    assert not diff, (
+        f"{name}:{n_threads} diverged from golden fixture "
+        f"{path.name}:\n  " + "\n  ".join(diff)
+    )
+
+
+def test_golden_fixtures_are_consistent():
+    """Every checked-in fixture must itself satisfy the Eq. 4 identity:
+    components sum to N (validate_consistency's invariant)."""
+    paths = sorted(FIXTURES.glob("*.json"))
+    assert paths, "no golden fixtures checked in"
+    for path in paths:
+        doc = json.loads(path.read_text())
+        total = sum(doc["components"].values())
+        assert total == pytest.approx(doc["n_threads"], abs=1e-6), path.name
+
+
+def test_diff_comparator_reports_component_deltas():
+    base = {"n_threads": 2, "components": {"base": 1.5, "spinning": 0.5}}
+    moved = {"n_threads": 2, "components": {"base": 1.25, "spinning": 0.75}}
+    diff = diff_stacks(base, moved)
+    assert len(diff) == 2
+    assert any("components.base" in line and "-0.25" in line for line in diff)
+    assert diff_stacks(base, base) == []

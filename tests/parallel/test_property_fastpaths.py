@@ -1,0 +1,135 @@
+"""Property tests for the engine fast paths and stack invariants.
+
+The instruction-block fast-forward is a pure wall-clock optimization:
+with it on or off, every simulated quantity — cycles, per-thread end
+times, instruction counts, and every accounted stack component — must
+be bit-identical.  Hypothesis drives both configurations over random
+programs; any divergence is an unsound fast path, not noise.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accounting.accountant import CycleAccountant
+from repro.config import MachineConfig
+from repro.core.stack import build_stack
+from repro.workloads.program import (
+    BarrierWait,
+    Compute,
+    Load,
+    LockAcquire,
+    LockRelease,
+    Program,
+    Store,
+    YieldCpu,
+)
+from repro.sim.engine import Simulation
+
+_ACTION = st.sampled_from(
+    ["compute", "load", "store", "cs", "barrier", "yield"]
+)
+
+
+@st.composite
+def programs(draw):
+    """Small random programs mixing compute, memory, locks, barriers
+    and yields (the op classes the fast-forward must break on)."""
+    n_threads = draw(st.integers(min_value=1, max_value=4))
+    actions = draw(st.lists(_ACTION, min_size=1, max_size=10))
+    compute_n = draw(st.integers(min_value=1, max_value=300))
+    n_lines = draw(st.integers(min_value=1, max_value=32))
+    shared = draw(st.booleans())
+
+    def body(tid: int):
+        barrier_id = 0
+        for index, action in enumerate(actions):
+            if action == "compute":
+                yield Compute(compute_n)
+            elif action == "load":
+                base = 0x100_0000 if shared else 0x100_0000 + (tid << 22)
+                yield Load(base + (index % n_lines) * 64)
+            elif action == "store":
+                base = 0x200_0000 if shared else 0x200_0000 + (tid << 22)
+                yield Store(base + (index % n_lines) * 64)
+            elif action == "cs":
+                yield LockAcquire(0)
+                yield Compute(40)
+                yield Store(0x9000_0000)
+                yield LockRelease(0)
+            elif action == "barrier":
+                yield BarrierWait(barrier_id)
+                barrier_id += 1
+            elif action == "yield":
+                yield YieldCpu()
+
+    def factory() -> Program:
+        return Program("fuzz-ff", [body(t) for t in range(n_threads)])
+
+    return factory, n_threads
+
+
+def _run(factory, n_threads, fast_forward, accounted):
+    machine = MachineConfig(n_cores=n_threads)
+    if accounted:
+        accountant = CycleAccountant(machine)
+        sim = Simulation(machine, factory(), accountant,
+                         fast_forward=fast_forward)
+    else:
+        accountant = None
+        sim = Simulation(machine, factory(), fast_forward=fast_forward)
+    result = sim.run(max_cycles=10**8)
+    report = accountant.report(result) if accounted else None
+    return result, report
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_fast_forward_is_invisible(case):
+    """Fast-forward on vs. off: identical cycles, end times, instruction
+    counts, and per-core busy cycles."""
+    factory, n_threads = case
+    on, _ = _run(factory, n_threads, fast_forward=True, accounted=False)
+    off, _ = _run(factory, n_threads, fast_forward=False, accounted=False)
+    assert on.total_cycles == off.total_cycles
+    assert on.thread_end_times == off.thread_end_times
+    assert on.total_instrs == off.total_instrs
+    assert on.total_spin_instrs == off.total_spin_instrs
+    for stats_on, stats_off in zip(on.chip.stats, off.chip.stats):
+        assert stats_on.busy_cycles == stats_off.busy_cycles
+
+
+@settings(max_examples=15, deadline=None)
+@given(programs())
+def test_fast_forward_preserves_stack_components(case):
+    """With the accountant attached, every Eq. 4 component is
+    bit-identical under fast-forward."""
+    factory, n_threads = case
+    _, report_on = _run(factory, n_threads, fast_forward=True,
+                        accounted=True)
+    _, report_off = _run(factory, n_threads, fast_forward=False,
+                         accounted=True)
+    assert report_on.component_totals() == report_off.component_totals()
+    stack_on = build_stack("fuzz-ff", report_on)
+    stack_off = build_stack("fuzz-ff", report_off)
+    assert stack_on == stack_off
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_stack_invariants(case):
+    """Eq. 4 structural invariants on random programs: segments sum to
+    N, base > 0, and no overhead segment is negative (net_negative_llc
+    folds the positive-LLC credit in, so it alone may go negative)."""
+    factory, n_threads = case
+    _, report = _run(factory, n_threads, fast_forward=True, accounted=True)
+    stack = build_stack("fuzz-ff", report)
+    stack.validate_consistency()
+    segments = {comp.value: v for comp, v in stack.segments().items()}
+    assert abs(sum(segments.values()) - n_threads) < 1e-6
+    assert segments["base_speedup"] > 0
+    for name, value in segments.items():
+        if name in ("base_speedup", "net_negative_llc"):
+            continue
+        assert value >= 0, (name, value)
+    assert stack.estimated_speedup > 0

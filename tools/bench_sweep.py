@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Measure sweep wall-clock (serial + parallel) and write BENCH_sweep.json.
+
+Thin wrapper over :mod:`repro.experiments.bench`; run from the repo
+root::
+
+    PYTHONPATH=src python tools/bench_sweep.py --jobs-list 1,2,4
+
+The default jobs list is ``1,<cpu_count>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.experiments.bench import (  # noqa: E402
+    DEFAULT_MAX_CYCLES,
+    DEFAULT_SCALE,
+    DEFAULT_THREADS,
+    render_bench,
+    run_bench,
+    write_bench,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated full names (default: suite)")
+    parser.add_argument("-n", "--threads",
+                        default=",".join(str(n) for n in DEFAULT_THREADS),
+                        help="comma-separated thread counts")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--jobs-list", default=None,
+                        help="comma-separated --jobs levels to time "
+                             "(default: 1,<cpu_count>)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per configuration (best-of)")
+    parser.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES)
+    parser.add_argument("--out", default="BENCH_sweep.json",
+                        help="output JSON path (default: BENCH_sweep.json)")
+    args = parser.parse_args(argv)
+
+    if args.jobs_list:
+        jobs_list = tuple(int(j) for j in args.jobs_list.split(","))
+    else:
+        jobs_list = (1, os.cpu_count() or 1)
+    benchmarks = (
+        tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    )
+    doc = run_bench(
+        benchmarks=benchmarks,
+        thread_counts=tuple(int(n) for n in args.threads.split(",")),
+        scale=args.scale,
+        jobs_list=jobs_list,
+        repeats=args.repeats,
+        max_cycles=args.max_cycles,
+    )
+    write_bench(doc, args.out)
+    print(render_bench(doc))
+    print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
