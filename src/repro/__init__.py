@@ -106,9 +106,18 @@ from repro.experiments.runner import (
     ExperimentResult,
     RunPolicy,
     SweepReport,
+    accounted_snapshot,
     run_accounted,
     run_experiment,
     run_reference,
+)
+from repro.observability import (
+    EventBus,
+    MetricsRegistry,
+    ProgressReporter,
+    TimelineRecorder,
+    harvest_cell_metrics,
+    trace_cell,
 )
 from repro.robustness import (
     EngineSnapshot,
@@ -168,6 +177,7 @@ from repro.workloads.suite import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "accounted_snapshot",
     "AccountingConfig",
     "AccountingReport",
     "advice",
@@ -202,6 +212,7 @@ __all__ = [
     "equal_quotas",
     "errors_by_thread_count",
     "estimate_cost",
+    "EventBus",
     "ExperimentCache",
     "ExperimentError",
     "ExperimentResult",
@@ -213,6 +224,7 @@ __all__ = [
     "FutexWake",
     "HardwareCost",
     "HardwareCostParams",
+    "harvest_cell_metrics",
     "interference_breakdown",
     "KB",
     "LivelockError",
@@ -229,6 +241,7 @@ __all__ = [
     "make_fault",
     "MB",
     "mean_absolute_error",
+    "MetricsRegistry",
     "MultiProgramResult",
     "Opportunity",
     "optimization_opportunities",
@@ -236,6 +249,7 @@ __all__ = [
     "PerThreadValidation",
     "Program",
     "ProgramSlowdown",
+    "ProgressReporter",
     "project",
     "Projection",
     "Region",
@@ -279,6 +293,8 @@ __all__ = [
     "SyncConfig",
     "ThreadComponents",
     "ThreadValidation",
+    "TimelineRecorder",
+    "trace_cell",
     "TraceParseError",
     "TraceRecorder",
     "validate_per_thread",

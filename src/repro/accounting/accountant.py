@@ -19,7 +19,8 @@ scheduling effects out ("this is out of the scope for this paper").
 from __future__ import annotations
 
 from repro.accounting.atd import AuxiliaryTagDirectory
-from repro.accounting.interface import INTER_THREAD_MISS
+from repro.accounting.interface import INTER_THREAD_HIT, INTER_THREAD_MISS
+from repro.observability.events import InterThreadAccess, SpinTruncated
 from repro.accounting.ora import OpenRowArray
 from repro.accounting.report import (
     AccountingReport,
@@ -38,8 +39,12 @@ class CycleAccountant:
 
     enabled = True
 
-    def __init__(self, machine: MachineConfig) -> None:
+    def __init__(self, machine: MachineConfig, bus=None) -> None:
         self.machine = machine
+        #: optional observability EventBus; the accountant emits only
+        #: sampled classifications and episode-level spin truncations —
+        #: both far off the per-access hot path
+        self.bus = bus
         config = machine.accounting
         n = machine.n_cores
         self.atds = [
@@ -90,7 +95,16 @@ class CycleAccountant:
             self.oracle_atds[core_id].observe(
                 line_addr, set_index, shared_hit, is_load
             )
-        return self.atds[core_id].observe(line_addr, set_index, shared_hit, is_load)
+        classification = self.atds[core_id].observe(
+            line_addr, set_index, shared_hit, is_load
+        )
+        bus = self.bus
+        if bus is not None and classification is not None:
+            if classification == INTER_THREAD_MISS:
+                bus.emit(InterThreadAccess(core_id, "miss"))
+            elif classification == INTER_THREAD_HIT:
+                bus.emit(InterThreadAccess(core_id, "hit"))
+        return classification
 
     def warm_llc_access(self, core_id: int, line_addr: int, set_index: int) -> None:
         self.atds[core_id].warm(line_addr, set_index)
@@ -154,6 +168,8 @@ class CycleAccountant:
 
     def on_spin_truncated(self, core_id: int, elapsed_cycles: int) -> None:
         self.spin_truncated[core_id] += elapsed_cycles
+        if self.bus is not None:
+            self.bus.emit(SpinTruncated(core_id, elapsed_cycles))
 
     def on_context_switch(self, core_id: int) -> None:
         self.tian[core_id].flush()

@@ -12,16 +12,20 @@ Commands:
 * ``sync``      — per-lock contention profile
 * ``cost``      — accounting hardware cost (Section 4.7)
 * ``run-trace`` — simulate a text op-trace file
+* ``trace``     — Chrome/Perfetto trace of one cell (observability bus)
 * ``sweep``     — hardened suite sweep (journal, retries, fault injection)
 * ``bench``     — time the sweep serial vs ``--jobs N`` (BENCH_sweep.json)
 
 Global flags: ``-v``/``-vv`` raise the stdlib-logging verbosity to
-INFO/DEBUG (they go before the subcommand, e.g. ``repro -v sweep ...``).
+INFO/DEBUG, ``--log-json`` switches stderr logging to one JSON object
+per record (they go before the subcommand, e.g. ``repro -v sweep ...``).
 """
 
 from __future__ import annotations
 
 import argparse
+import io
+import json
 import logging
 import os
 import sys
@@ -50,6 +54,13 @@ from repro.experiments.scenarios import (
     classification_tree,
     speedup_curves,
 )
+from repro.observability import (
+    MetricsRegistry,
+    ProgressReporter,
+    interval_sums,
+    trace_cell,
+)
+from repro.observability.events import EventBus
 from repro.parallel import cells_from_sweep, run_parallel_sweep
 from repro.robustness.faults import FAULT_KINDS, make_fault
 from repro.robustness.journal import SweepJournal
@@ -200,6 +211,40 @@ def cmd_run_trace(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    result, recorder = trace_cell(
+        args.benchmark, args.threads, scale=args.scale,
+        max_cycles=args.max_cycles,
+    )
+    sums = interval_sums(recorder)
+    speedup = result.stack.actual_speedup
+    doc = recorder.to_chrome_trace(metadata={
+        "benchmark": args.benchmark,
+        "n_threads": args.threads,
+        "scale": args.scale,
+        "total_cycles": recorder.total_cycles,
+        "actual_speedup": speedup,
+    })
+    with open(args.out, "w") as handle:
+        handle.write(doc)
+    n_intervals = (
+        len(recorder.run_intervals) + len(recorder.spin_segments)
+        + len(recorder.yield_intervals) + len(recorder.miss_intervals)
+    )
+    truncated = " (TRUNCATED)" if recorder.truncated else ""
+    speedup_txt = f"{speedup:.2f}" if speedup is not None else "n/a"
+    print(f"{args.benchmark}:{args.threads}: {recorder.total_cycles} "
+          f"cycles, speedup {speedup_txt}, {n_intervals} intervals on "
+          f"{recorder.n_cores} cores{truncated}")
+    print(f"  spin {sum(sums['spin_cycles_by_thread'].values())} cy, "
+          f"yield {sum(sums['yield_cycles_by_thread'].values())} cy, "
+          f"memory interference "
+          f"{sum(sums['interference_by_core'].values())} cy")
+    print(f"chrome trace written to {args.out} "
+          f"(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def _parse_injections(specs: list[str] | None) -> dict[str, str]:
     """``--inject KIND@BENCH:N`` -> fault plan {cell key: fault kind}.
 
@@ -238,6 +283,18 @@ def cmd_sweep(args) -> int:
     )
     fault_plan = _parse_injections(args.inject)
     journal = SweepJournal(args.journal)
+    metrics = MetricsRegistry() if args.emit_metrics else None
+    bus = None
+    if args.progress or args.heartbeat:
+        bus = EventBus()
+        # --heartbeat without --progress keeps stderr quiet but still
+        # drives the heartbeat file off the same reporter
+        ProgressReporter(
+            len(cells),
+            jobs=args.jobs,
+            stream=sys.stderr if args.progress else io.StringIO(),
+            heartbeat_path=args.heartbeat,
+        ).attach(bus)
     if args.jobs > 1:
         report = run_parallel_sweep(
             cells_from_sweep(cells, scale=args.scale, fault_kinds=fault_plan),
@@ -245,6 +302,8 @@ def cmd_sweep(args) -> int:
             policy=policy,
             journal=journal,
             resume=args.resume,
+            bus=bus,
+            metrics=metrics,
         )
     else:
         runner = BatchRunner(
@@ -252,8 +311,13 @@ def cmd_sweep(args) -> int:
             scale=args.scale,
             journal=journal,
             fault_plan=fault_plan,
+            bus=bus,
+            metrics=metrics,
         )
         report = runner.run_sweep(cells, resume=args.resume)
+    if metrics is not None:
+        metrics.write(args.emit_metrics)
+        print(f"metrics written to {args.emit_metrics}")
     for outcome in report.outcomes:
         if outcome.status == "ok":
             result = outcome.result
@@ -308,6 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
         help="-v: INFO logging, -vv: DEBUG (place before the subcommand)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit one JSON object per log record on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -369,6 +437,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_run_trace)
 
     p = sub.add_parser(
+        "trace",
+        help="Chrome/Perfetto trace of one cell via the event bus",
+    )
+    p.add_argument("benchmark", help="suite benchmark, e.g. cholesky")
+    p.add_argument("-n", "--threads", type=int, default=16,
+                   help="threads == cores (default 16)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale factor")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="watchdog: truncate runs past this simulated time")
+    p.add_argument("--out", default="trace.json",
+                   help="trace-event JSON output path (default trace.json)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
         "sweep",
         help="hardened suite sweep: journal, retries, fault injection",
     )
@@ -399,6 +482,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="worker processes for the sweep (default 1: "
                         "serial in-process execution)")
+    p.add_argument("--emit-metrics", metavar="PATH", default=None,
+                   help="collect per-cell sim/runtime metrics and write "
+                        "the aggregated registry JSON here")
+    p.add_argument("--progress", action="store_true",
+                   help="live one-line progress + ETA on stderr")
+    p.add_argument("--heartbeat", metavar="PATH", default=None,
+                   help="write a machine-readable heartbeat JSON here on "
+                        "every sweep event")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -425,22 +516,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _configure_logging(verbosity: int) -> None:
+#: the one handler this CLI owns on the root logger; replaced (never
+#: stacked) on repeated in-process invocations of :func:`main`
+_LOG_HANDLER: logging.Handler | None = None
+
+
+class _JsonLogFormatter(logging.Formatter):
+    """One JSON object per record, for machine-readable log capture."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc)
+
+
+def _configure_logging(verbosity: int, log_json: bool = False) -> None:
+    global _LOG_HANDLER
     level = (
         logging.WARNING if verbosity <= 0
         else logging.INFO if verbosity == 1
         else logging.DEBUG
     )
-    logging.basicConfig(
-        level=level,
-        format="%(levelname)s %(name)s: %(message)s",
-        stream=sys.stderr,
+    # ``logging.basicConfig`` is a no-op once the root logger has any
+    # handler, yet tests and notebooks call ``main`` many times in one
+    # process with *different* verbosity — and any pre-existing foreign
+    # handler would freeze the format forever.  Own exactly one handler:
+    # remove ours from the previous invocation, then install a fresh one
+    # with the requested format and level.
+    root = logging.getLogger()
+    if _LOG_HANDLER is not None:
+        root.removeHandler(_LOG_HANDLER)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        _JsonLogFormatter() if log_json
+        else logging.Formatter("%(levelname)s %(name)s: %(message)s")
     )
+    root.addHandler(handler)
+    root.setLevel(level)
+    _LOG_HANDLER = handler
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    _configure_logging(args.verbose)
+    _configure_logging(args.verbose, args.log_json)
     return args.func(args)
 
 

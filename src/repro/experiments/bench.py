@@ -19,6 +19,8 @@ import platform
 import time
 
 from repro.experiments.runner import BatchRunner, RunPolicy
+from repro.observability import MetricsRegistry, TimelineRecorder
+from repro.observability.events import EventBus
 from repro.parallel import cells_from_sweep, run_parallel_sweep
 from repro.robustness.journal import SweepJournal
 from repro.sim.engine import Simulation
@@ -92,6 +94,57 @@ def _bench_fast_forward(scale, max_cycles, repeats):
     }
 
 
+def _bench_observability(scale, max_cycles, repeats):
+    """One accounted cell instrumented wide open vs fully disabled.
+
+    "Wide open" is the worst case the observability layer supports: an
+    event bus with a :class:`TimelineRecorder` subscribed to every
+    engine event family plus a :class:`MetricsRegistry` harvesting the
+    cell — so the measured overhead bounds what ``repro trace`` and
+    ``sweep --emit-metrics`` cost.  Simulated cycles must be identical
+    either way (instrumentation observes, never perturbs); CI gates on
+    ``overhead_pct``.
+    """
+    spec = by_name(FF_BENCHMARK)
+    policy = RunPolicy(on_error="skip", max_cycles=max_cycles)
+    timings = {}
+    cycles = {}
+    n_events = 0
+    for enabled in (False, True):
+        best = None
+        for _ in range(repeats):
+            bus = metrics = None
+            if enabled:
+                bus = EventBus()
+                TimelineRecorder().attach(bus)
+                metrics = MetricsRegistry()
+            runner = BatchRunner(
+                policy=policy, scale=scale, bus=bus, metrics=metrics
+            )
+            start = time.perf_counter()
+            outcome = runner.run_cell(spec, FF_THREADS)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            cycles[enabled] = outcome.result.mt_result.total_cycles
+            if bus is not None:
+                n_events = bus.n_emitted
+        timings[enabled] = best
+    assert cycles[True] == cycles[False], (
+        "instrumentation changed simulated time — the bus is not "
+        "observation-only"
+    )
+    return {
+        "cell": f"{FF_BENCHMARK}:{FF_THREADS}",
+        "wall_s_disabled": round(timings[False], 4),
+        "wall_s_enabled": round(timings[True], 4),
+        "overhead_pct": round(
+            100.0 * (timings[True] - timings[False]) / timings[False], 2
+        ),
+        "events_emitted": n_events,
+        "total_cycles": cycles[True],
+    }
+
+
 def run_bench(
     benchmarks=None,
     thread_counts=DEFAULT_THREADS,
@@ -130,6 +183,7 @@ def run_bench(
         "engine_fast_forward": _bench_fast_forward(
             scale, max_cycles, repeats
         ),
+        "observability": _bench_observability(scale, max_cycles, repeats),
     }
 
 
@@ -155,6 +209,15 @@ def render_bench(doc: dict) -> str:
         f"{ff['wall_s_off']:.3f}s -> {ff['wall_s_on']:.3f}s "
         f"({ff['speedup']:.2f}x, cycles identical)"
     )
+    obs = doc.get("observability")
+    if obs is not None:
+        lines.append(
+            f"observability ({obs['cell']}): "
+            f"{obs['wall_s_disabled']:.3f}s -> "
+            f"{obs['wall_s_enabled']:.3f}s enabled "
+            f"({obs['overhead_pct']:+.1f}%, {obs['events_emitted']} "
+            f"events, cycles identical)"
+        )
     return "\n".join(lines)
 
 

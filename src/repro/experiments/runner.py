@@ -33,6 +33,15 @@ from repro.accounting.report import AccountingReport
 from repro.config import MachineConfig
 from repro.core.stack import SpeedupStack, build_stack
 from repro.errors import ExperimentError, ReproError
+from repro.observability.events import (
+    CellFinished,
+    CellRetry,
+    CellStarted,
+    FaultArmed,
+    SweepFinished,
+    SweepStarted,
+)
+from repro.observability.metrics import harvest_cell_metrics
 from repro.robustness.faults import CellFault, make_fault
 from repro.robustness.journal import SweepJournal
 from repro.sim.engine import SimResult, Simulation
@@ -81,19 +90,46 @@ def run_accounted(
     max_cycles: int | None = None,
     livelock_window: int | None = None,
     on_timeout: str = "raise",
+    bus=None,
 ) -> tuple[SimResult, AccountingReport]:
     """One multi-threaded run with the accounting hardware attached.
 
     With ``on_timeout="truncate"`` a watchdog-cut run still yields a
-    (flagged) report — the partial-run speedup stack.
+    (flagged) report — the partial-run speedup stack.  ``bus`` attaches
+    an observability :class:`~repro.observability.events.EventBus` to
+    both the engine and the accountant.
     """
-    accountant = CycleAccountant(machine)
-    result = Simulation(machine, program, accountant).run(
+    accountant = CycleAccountant(machine, bus=bus)
+    result = Simulation(machine, program, accountant, bus=bus).run(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
     )
     return result, accountant.report(result)
+
+
+def accounted_snapshot(
+    machine: MachineConfig,
+    program: Program,
+    max_cycles: int | None = None,
+    livelock_window: int | None = None,
+    on_timeout: str = "raise",
+) -> dict:
+    """One accounted run, returning the accountant's cumulative counter
+    snapshot (:meth:`CycleAccountant.snapshot`).
+
+    The public-API route to the raw per-core counters behind the stack
+    components — ``llc_accesses``, interference stalls, spin and yield
+    cycles — without going through report post-processing.  Region code
+    differences two of these; callers here get the end-of-run totals.
+    """
+    accountant = CycleAccountant(machine)
+    Simulation(machine, program, accountant).run(
+        max_cycles=max_cycles,
+        livelock_window=livelock_window,
+        on_timeout=on_timeout,
+    )
+    return accountant.snapshot()
 
 
 def run_reference(
@@ -125,8 +161,13 @@ def run_experiment(
     max_cycles: int | None = None,
     livelock_window: int | None = None,
     on_timeout: str = "raise",
+    bus=None,
 ) -> ExperimentResult:
-    """Full protocol: (optional) reference run, accounted run, stack."""
+    """Full protocol: (optional) reference run, accounted run, stack.
+
+    ``bus`` instruments the accounted multi-threaded run only — the
+    reference run is a measurement fixture, not the subject.
+    """
     st_result = None
     ts = None
     if st_program is not None:
@@ -142,6 +183,7 @@ def run_experiment(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
+        bus=bus,
     )
     stack = build_stack(name, report, ts_cycles=ts)
     return ExperimentResult(
@@ -214,6 +256,8 @@ class CellOutcome:
     error_type: str | None = None
     #: engine post-mortem (plain dict) when the failure carried one
     snapshot: dict | None = None
+    #: harvested ``sim.*`` metrics (only when collection is enabled)
+    metrics: dict | None = None
 
     @property
     def key(self) -> str:
@@ -308,11 +352,20 @@ class BatchRunner:
         fault_plan: dict[str, CellFault | str] | None = None,
         machine_factory=None,
         sleep=time.sleep,
+        bus=None,
+        metrics=None,
     ) -> None:
         self.policy = policy or RunPolicy()
         self.scale = scale
         self.journal = journal or SweepJournal(None)
         self.fault_plan = fault_plan or {}
+        #: optional observability EventBus for sweep/cell lifecycle
+        #: events (also threaded into each cell's engine + accountant)
+        self.bus = bus
+        #: optional MetricsRegistry; when set, each ok cell's harvested
+        #: ``sim.*`` metrics are absorbed here and journaled, and
+        #: ``runtime.*`` wall-time/retry metrics accumulate alongside
+        self.metrics = metrics
         self._machine_factory = machine_factory or (
             lambda n_threads: MachineConfig(n_cores=n_threads)
         )
@@ -326,26 +379,43 @@ class BatchRunner:
     def run_cell(self, spec: BenchmarkSpec, n_threads: int) -> CellOutcome:
         """One isolated cell: build programs, run, classify the outcome."""
         policy = self.policy
+        bus = self.bus
+        metrics = self.metrics
         name = spec.full_name
         key = f"{name}:{n_threads}"
         fault = self.fault_plan.get(key)
         if isinstance(fault, str):
+            fault_kind = fault
             fault = make_fault(fault)
+        else:
+            fault_kind = type(fault).__name__ if fault is not None else None
+        if fault is not None and bus is not None:
+            bus.emit(FaultArmed(key, fault_kind or "fault"))
         attempts = 0
         delay = policy.backoff_s
         last_error: BaseException | None = None
         max_attempts = (
             1 + policy.max_retries if policy.on_error == "retry" else 1
         )
+        t_cell = time.monotonic()
         while attempts < max_attempts:
             attempts += 1
-            if attempts > 1 and delay > 0:
-                logger.info(
-                    "retrying %s (attempt %d/%d) after %.2fs backoff",
-                    key, attempts, max_attempts, delay,
-                )
-                self._sleep(delay)
-                delay *= policy.backoff_factor
+            if attempts > 1:
+                if bus is not None:
+                    bus.emit(CellRetry(
+                        key, attempts, delay, str(last_error)
+                    ))
+                if metrics is not None:
+                    metrics.counter("runtime.retries").inc()
+                if delay > 0:
+                    logger.info(
+                        "retrying %s (attempt %d/%d) after %.2fs backoff",
+                        key, attempts, max_attempts, delay,
+                    )
+                    self._sleep(delay)
+                    delay *= policy.backoff_factor
+            elif bus is not None:
+                bus.emit(CellStarted(key, attempts))
             try:
                 result = self._run_once(spec, n_threads, fault)
             except ReproError as exc:
@@ -360,18 +430,36 @@ class BatchRunner:
                     "cell %s truncated (%s) — partial stack",
                     key, result.mt_result.truncation_reason,
                 )
+            cell_metrics = None
+            if metrics is not None:
+                cell_metrics = harvest_cell_metrics(result)
+                metrics.absorb(cell_metrics)
+                metrics.counter("runtime.cells_ok").inc()
+                metrics.histogram("runtime.cell_wall_s").observe(
+                    time.monotonic() - t_cell
+                )
+            if bus is not None:
+                bus.emit(CellFinished(key, CELL_OK, attempts))
             return CellOutcome(
                 name=name,
                 n_threads=n_threads,
                 status=CELL_OK,
                 attempts=attempts,
                 result=result,
+                metrics=cell_metrics,
             )
         assert last_error is not None
         if policy.on_error == "abort":
             raise ExperimentError(
                 name, n_threads, str(last_error)
             ) from last_error
+        if metrics is not None:
+            metrics.counter("runtime.cells_failed").inc()
+            metrics.histogram("runtime.cell_wall_s").observe(
+                time.monotonic() - t_cell
+            )
+        if bus is not None:
+            bus.emit(CellFinished(key, CELL_FAILED, attempts))
         snapshot = getattr(last_error, "snapshot", None)
         return CellOutcome(
             name=name,
@@ -397,6 +485,7 @@ class BatchRunner:
             max_cycles=self.policy.max_cycles,
             livelock_window=self.policy.livelock_window,
             on_timeout="truncate",
+            bus=self.bus,
         )
         stack = build_stack(spec.full_name, report, ts_cycles=ts)
         return ExperimentResult(
@@ -451,6 +540,8 @@ class BatchRunner:
         only what is missing.
         """
         report = SweepReport()
+        if self.bus is not None:
+            self.bus.emit(SweepStarted(len(cells), 1))
         for spec, n_threads in cells:
             name = spec.full_name
             if resume and self.journal.completed(name, n_threads):
@@ -461,6 +552,10 @@ class BatchRunner:
                     n_threads=n_threads,
                     status=CELL_RESUMED,
                 ))
+                if self.bus is not None:
+                    self.bus.emit(CellFinished(
+                        f"{name}:{n_threads}", CELL_RESUMED, 0
+                    ))
                 continue
             logger.info("running cell %s:%d", name, n_threads)
             outcome = self.run_cell(spec, n_threads)
@@ -471,6 +566,7 @@ class BatchRunner:
                     attempts=outcome.attempts,
                     total_cycles=outcome.result.mt_result.total_cycles,
                     truncated=outcome.result.mt_result.truncated,
+                    metrics=outcome.metrics,
                 )
             else:
                 self.journal.record_failure(
@@ -481,6 +577,11 @@ class BatchRunner:
                     snapshot=outcome.snapshot,
                 )
             report.outcomes.append(outcome)
+        if self.bus is not None:
+            self.bus.emit(SweepFinished(
+                len(report.completed), len(report.failures),
+                len(report.resumed),
+            ))
         logger.info(
             "sweep done: %d ok, %d resumed, %d failed",
             len(report.completed), len(report.resumed), len(report.failures),

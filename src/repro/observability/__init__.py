@@ -1,0 +1,99 @@
+"""Structured instrumentation for the simulator and the sweep stack.
+
+The paper's contribution is *attribution* — explaining where a thread's
+cycles went — and this package applies the same discipline to the
+runner itself.  Four cooperating pieces:
+
+* :mod:`repro.observability.events` — a typed event bus.  Producers
+  (engine, chip, accountant, batch runner, parallel driver) hold an
+  optional ``bus`` reference and emit frozen event values only when one
+  is attached, so the disabled path costs a single ``is not None``
+  check at scheduling frequency and *nothing* on the per-op hot path.
+* :mod:`repro.observability.metrics` — a counters/gauges/histograms
+  registry.  Deterministic simulation metrics are harvested from the
+  engine's existing counters *after* a run (zero in-run overhead),
+  serialized into the sweep journal per cell, and merged across
+  ``--jobs N`` workers through the parent-only collection path.
+* :mod:`repro.observability.timeline` — a Chrome trace-event /
+  Perfetto exporter with per-core tracks for scheduling, spin, yield
+  and memory-interference intervals (``repro trace <cell>``), built so
+  the interval sums reconcile exactly with the cell's speedup-stack
+  components.
+* :mod:`repro.observability.progress` — live sweep telemetry: a
+  ``--progress`` stderr renderer with ETA and a machine-readable
+  heartbeat file for external monitoring.
+
+Everything here is observation only: attaching a bus, a registry, a
+recorder or a reporter never changes a simulated cycle.  The
+differential and golden suites pin that down.
+"""
+
+from repro.observability.events import (
+    EVENT_TYPES,
+    CellFinished,
+    CellRetry,
+    CellStarted,
+    DeadlockDetected,
+    EventBus,
+    FaultArmed,
+    InterThreadAccess,
+    MissBlocked,
+    SimEnded,
+    SimStarted,
+    SpinSegment,
+    SpinTruncated,
+    SweepFinished,
+    SweepStarted,
+    ThreadDescheduled,
+    ThreadDispatched,
+    WatchdogFired,
+    WorkerCrashed,
+    YieldInterval,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    harvest_cell_metrics,
+)
+from repro.observability.progress import ProgressReporter
+from repro.observability.timeline import (
+    TimelineRecorder,
+    interval_sums,
+    trace_cell,
+    validate_trace_events,
+)
+
+__all__ = [
+    "CellFinished",
+    "CellRetry",
+    "CellStarted",
+    "Counter",
+    "DeadlockDetected",
+    "EVENT_TYPES",
+    "EventBus",
+    "FaultArmed",
+    "Gauge",
+    "harvest_cell_metrics",
+    "Histogram",
+    "InterThreadAccess",
+    "interval_sums",
+    "MetricsRegistry",
+    "MissBlocked",
+    "ProgressReporter",
+    "SimEnded",
+    "SimStarted",
+    "SpinSegment",
+    "SpinTruncated",
+    "SweepFinished",
+    "SweepStarted",
+    "ThreadDescheduled",
+    "ThreadDispatched",
+    "TimelineRecorder",
+    "trace_cell",
+    "validate_trace_events",
+    "WatchdogFired",
+    "WorkerCrashed",
+    "YieldInterval",
+]

@@ -18,7 +18,7 @@ class SpinContext:
     """State of a thread inside a contended acquire/barrier spin loop."""
 
     __slots__ = ("kind", "obj", "iters", "episode_start", "my_generation",
-                 "contention_start")
+                 "contention_start", "segment_start")
 
     def __init__(self, kind: str, obj, now: int, my_generation: int = 0) -> None:
         self.kind = kind
@@ -28,11 +28,16 @@ class SpinContext:
         self.my_generation = my_generation
         #: when the thread first started waiting (never reset by wakeups)
         self.contention_start = now
+        #: start of the current *on-core* spin stretch (reset on every
+        #: re-dispatch); the observability layer closes one SpinSegment
+        #: per stretch so the segments tile gt_spin_cycles exactly
+        self.segment_start = now
 
     def restart(self, now: int) -> None:
         """Reset the spin budget after the thread was woken by the OS."""
         self.iters = 0
         self.episode_start = now
+        self.segment_start = now
 
 
 class SoftwareThread:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import logging
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, BrokenExecutor
 from dataclasses import dataclass, replace
 
@@ -50,6 +51,14 @@ from repro.experiments.runner import (
     RunPolicy,
     SweepReport,
 )
+from repro.observability.events import (
+    CellFinished,
+    CellStarted,
+    SweepFinished,
+    SweepStarted,
+    WorkerCrashed,
+)
+from repro.observability.metrics import harvest_cell_metrics
 from repro.robustness.faults import FAULT_KINDS, make_fault
 from repro.robustness.journal import SweepJournal
 from repro.workloads.spec import BenchmarkSpec
@@ -126,6 +135,11 @@ class CellResult:
     error: str | None = None
     error_type: str | None = None
     snapshot: dict | None = None
+    #: flat deterministic ``sim.*`` metrics harvested in the worker
+    #: (None unless the sweep runs with metrics collection enabled);
+    #: a plain dict of ints — the only metrics shape that pickles
+    #: cheaply and journals byte-deterministically
+    metrics: dict | None = None
 
     @property
     def key(self) -> str:
@@ -168,7 +182,9 @@ def _worker_runner(policy: RunPolicy, scale: float) -> BatchRunner:
     return runner
 
 
-def run_cell_task(cell: CellSpec, policy: RunPolicy) -> CellResult:
+def run_cell_task(
+    cell: CellSpec, policy: RunPolicy, collect_metrics: bool = False
+) -> CellResult:
     """Execute one cell in the current process (the pool's entry point).
 
     Runs the standard ``BatchRunner.run_cell`` protocol — fault
@@ -176,6 +192,14 @@ def run_cell_task(cell: CellSpec, policy: RunPolicy) -> CellResult:
     reduces the outcome to a picklable :class:`CellResult`.  ``abort``
     is enforced by the parent (a worker must never raise across the
     pipe), so it is downgraded to ``skip`` here.
+
+    With ``collect_metrics`` the worker harvests the cell's flat
+    ``sim.*`` metrics dict (the live ``chip``/``threads`` objects the
+    harvest reads do not pickle, so harvesting must happen on this side
+    of the process boundary) using the same
+    :func:`~repro.observability.metrics.harvest_cell_metrics` the
+    serial runner uses — which is what makes serial and parallel
+    journals byte-identical even with metrics enabled.
     """
     if os.environ.get(_KILL_ENV) == cell.key:
         os._exit(17)  # simulated hard worker death (test hook)
@@ -206,6 +230,9 @@ def run_cell_task(cell: CellSpec, policy: RunPolicy) -> CellResult:
             st_instrs=(
                 result.st_result.total_instrs if result.st_result else 0
             ),
+            metrics=(
+                harvest_cell_metrics(result) if collect_metrics else None
+            ),
         )
     return CellResult(
         name=outcome.name,
@@ -235,7 +262,8 @@ def _crashed_result(cell: CellSpec, attempts: int) -> CellResult:
 
 
 def _run_quarantined(
-    cell: CellSpec, policy: RunPolicy, max_attempts: int
+    cell: CellSpec, policy: RunPolicy, max_attempts: int,
+    collect_metrics: bool = False,
 ) -> CellResult:
     """Re-run one crash suspect alone in single-worker pools.
 
@@ -248,7 +276,9 @@ def _run_quarantined(
         attempts += 1
         with ProcessPoolExecutor(max_workers=1) as pool:
             try:
-                return pool.submit(run_cell_task, cell, policy).result()
+                return pool.submit(
+                    run_cell_task, cell, policy, collect_metrics
+                ).result()
             except BrokenExecutor:
                 logger.warning(
                     "cell %s crashed its worker (quarantined attempt %d/%d)",
@@ -261,6 +291,8 @@ def _execute_cells(
     pending: list[tuple[int, CellSpec]],
     jobs: int,
     policy: RunPolicy,
+    collect_metrics: bool = False,
+    bus=None,
 ) -> dict[int, CellResult]:
     """Run cells on a pool; survive worker deaths by rebuilding it.
 
@@ -279,15 +311,40 @@ def _execute_cells(
     max_crash_attempts = 1 + (
         policy.max_retries if policy.on_error == "retry" else 0
     )
+    # Live progress: journaling stays in submission order, but the bus
+    # hears about each cell as its future actually completes — possibly
+    # from the executor's callback thread, so emissions are serialized
+    # under a lock and deduplicated per cell key.
+    notified: set[str] = set()
+    notify_lock = threading.Lock()
+
+    def _notify_done(cell: CellSpec, future) -> None:
+        try:
+            result = future.result()
+        except BrokenExecutor:
+            return  # crash handling (and its events) happen in the collector
+        with notify_lock:
+            if cell.key in notified:
+                return
+            notified.add(cell.key)
+        bus.emit(CellFinished(cell.key, result.status, result.attempts))
+
     queue = list(pending)
     while queue:
         requeue: list[tuple[int, CellSpec]] = []
         suspects: list[tuple[int, CellSpec]] = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                (index, cell, pool.submit(run_cell_task, cell, policy))
-                for index, cell in queue
-            ]
+            futures = []
+            for index, cell in queue:
+                future = pool.submit(
+                    run_cell_task, cell, policy, collect_metrics
+                )
+                if bus is not None:
+                    bus.emit(CellStarted(cell.key, 1))
+                    future.add_done_callback(
+                        lambda f, c=cell: _notify_done(c, f)
+                    )
+                futures.append((index, cell, future))
             for index, cell, future in futures:
                 try:
                     results[index] = future.result()
@@ -301,10 +358,18 @@ def _execute_cells(
                 "worker pool broke; quarantining %d suspect cell(s), "
                 "requeueing %d", len(suspects), len(requeue),
             )
+            if bus is not None:
+                bus.emit(WorkerCrashed(
+                    tuple(cell.key for _, cell in suspects)
+                ))
         for index, cell in suspects:
             results[index] = _run_quarantined(
-                cell, policy, max_crash_attempts
+                cell, policy, max_crash_attempts, collect_metrics
             )
+            if bus is not None:
+                bus.emit(CellFinished(
+                    cell.key, results[index].status, results[index].attempts
+                ))
         queue = requeue
     return results
 
@@ -315,6 +380,8 @@ def run_parallel_sweep(
     policy: RunPolicy | None = None,
     journal: SweepJournal | None = None,
     resume: bool = False,
+    bus=None,
+    metrics=None,
 ) -> SweepReport:
     """Fan a sweep out over ``jobs`` worker processes.
 
@@ -328,6 +395,12 @@ def run_parallel_sweep(
     ``on_error="abort"`` the first failed cell raises
     :class:`~repro.errors.ExperimentError` after in-order journaling of
     the cells before it.
+
+    ``bus`` receives sweep/cell lifecycle events in the parent —
+    cell-finished events fire as futures complete (live progress), while
+    journaling stays in submission order.  ``metrics`` turns on
+    worker-side harvest: each ok cell's ``sim.*`` dict is absorbed into
+    the registry and journaled, exactly as the serial runner does.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -336,6 +409,8 @@ def run_parallel_sweep(
 
     outcomes: list[CellOutcome | None] = []
     pending: list[tuple[int, CellSpec]] = []
+    if bus is not None:
+        bus.emit(SweepStarted(len(cells), jobs))
     for index, cell in enumerate(cells):
         if resume and journal.completed(cell.name, cell.n_threads):
             logger.info("resume: skipping completed cell %s", cell.key)
@@ -344,11 +419,16 @@ def run_parallel_sweep(
                 n_threads=cell.n_threads,
                 status=CELL_RESUMED,
             ))
+            if bus is not None:
+                bus.emit(CellFinished(cell.key, CELL_RESUMED, 0))
         else:
             outcomes.append(None)
             pending.append((index, cell))
 
-    results = _execute_cells(pending, jobs, policy)
+    results = _execute_cells(
+        pending, jobs, policy,
+        collect_metrics=metrics is not None, bus=bus,
+    )
 
     report = SweepReport()
     for index, outcome in enumerate(outcomes):
@@ -369,7 +449,11 @@ def run_parallel_sweep(
                 attempts=result.attempts,
                 total_cycles=result.total_cycles,
                 truncated=result.truncated,
+                metrics=result.metrics,
             )
+            if metrics is not None and result.metrics is not None:
+                metrics.absorb(result.metrics)
+                metrics.counter("runtime.cells_ok").inc()
         else:
             journal.record_failure(
                 result.name, result.n_threads,
@@ -378,6 +462,10 @@ def run_parallel_sweep(
                 error_type=result.error_type or "",
                 snapshot=result.snapshot,
             )
+            if metrics is not None:
+                metrics.counter("runtime.cells_failed").inc()
+                if result.error_type == WORKER_CRASH:
+                    metrics.counter("runtime.worker_crashes").inc()
         report.outcomes.append(CellOutcome(
             name=result.name,
             n_threads=result.n_threads,
@@ -387,6 +475,11 @@ def run_parallel_sweep(
             error=result.error,
             error_type=result.error_type,
             snapshot=result.snapshot,
+        ))
+    if bus is not None:
+        bus.emit(SweepFinished(
+            len(report.completed), len(report.failures),
+            len(report.resumed),
         ))
     logger.info(
         "parallel sweep done (%d jobs): %d ok, %d resumed, %d failed",

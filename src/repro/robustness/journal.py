@@ -102,13 +102,20 @@ class SweepJournal:
         attempts: int,
         total_cycles: int,
         truncated: bool = False,
+        metrics: dict[str, int] | None = None,
     ) -> None:
-        self.cells[cell_key(name, n_threads)] = {
+        entry = {
             "status": STATUS_OK,
             "attempts": attempts,
             "total_cycles": total_cycles,
             "truncated": truncated,
         }
+        # written only when metrics collection is on, so a sweep with
+        # observability disabled journals byte-identically to pre-metrics
+        # versions; the dict arrives in deterministic insertion order
+        if metrics is not None:
+            entry["metrics"] = metrics
+        self.cells[cell_key(name, n_threads)] = entry
         self.save()
 
     def record_failure(

@@ -177,6 +177,16 @@ class SetAssocCache:
             return sum(len(s) for s in self._sets.values())
         return sum(len(s) for s in self._sets)
 
+    def counters(self) -> dict[str, int]:
+        """Post-run counter snapshot for the observability layer — a
+        zero-hot-path-cost alternative to per-access hooks."""
+        return {
+            "hits": self.n_hits,
+            "misses": self.n_misses,
+            "evictions": self.n_evictions,
+            "occupancy": self.occupancy(),
+        }
+
     def lines_in_set(self, set_index: int) -> list[int]:
         """Line addresses in one set, LRU first (for tests)."""
         if self._sparse:

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.accounting.interface import NULL_ACCOUNTANT
 from repro.config import MachineConfig
+from repro.observability.events import MissBlocked
 from repro.sim.cache import SetAssocCache
 from repro.sim.coherence import CoherenceDirectory
 from repro.sim.partition import WayPartitionedCache
@@ -98,9 +99,15 @@ class _CoreMemState:
 class Chip:
     """Memory hierarchy shared by ``n_cores`` cores."""
 
-    def __init__(self, machine: MachineConfig, accountant=NULL_ACCOUNTANT) -> None:
+    def __init__(
+        self, machine: MachineConfig, accountant=NULL_ACCOUNTANT, bus=None
+    ) -> None:
         self.machine = machine
         self.accountant = accountant
+        #: optional observability EventBus; consulted only on the
+        #: blocked-miss path (never per access), and only constructs an
+        #: event when a MissBlocked handler is actually subscribed
+        self.bus = bus
         self.n_cores = machine.n_cores
         self.l1d = [SetAssocCache(machine.l1d) for _ in range(self.n_cores)]
         if machine.llc_quotas is not None:
@@ -342,7 +349,8 @@ class Chip:
         # Blocking miss: full latency stalls the core.
         blocked = latency
         self._account_blocked(
-            core_id, blocked, classification, dram, is_load, ora_conflict
+            core_id, blocked, classification, dram, is_load, ora_conflict,
+            start=now,
         )
         total = stall_before + blocked
         stats.stall_cycles += total
@@ -358,7 +366,7 @@ class Chip:
             if blocked > 0:
                 self._account_blocked(
                     core_id, blocked, miss.classification, miss.dram_result,
-                    miss.is_load, miss.ora_conflict,
+                    miss.is_load, miss.ora_conflict, start=t,
                 )
                 t = miss.end_time
         state.outstanding.clear()
@@ -375,6 +383,7 @@ class Chip:
         dram: DramAccessResult,
         is_load: bool,
         ora_conflict: bool,
+        start: int = 0,
     ) -> None:
         stats = self.stats[core_id]
         if is_load:
@@ -383,6 +392,18 @@ class Chip:
             self.accountant.on_miss_blocked(
                 core_id, blocked, classification, dram, is_load, ora_conflict
             )
+        bus = self.bus
+        if bus is not None and MissBlocked in bus:
+            # same attribution as the accountant's on_miss_blocked, so
+            # trace-track sums reconcile with the negative-memory stall
+            interference = dram.bus_wait_other + dram.bank_wait_other
+            if ora_conflict:
+                interference += dram.page_extra_cycles
+            if interference > blocked:
+                interference = blocked
+            bus.emit(MissBlocked(
+                core_id, start, start + blocked, interference, is_load
+            ))
 
     def _fill_l1(self, core_id: int, line: int, *, dirty: bool) -> None:
         victim = self.l1d[core_id].fill(line, dirty=dirty)

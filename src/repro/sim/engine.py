@@ -25,6 +25,16 @@ from dataclasses import dataclass
 from repro.accounting.interface import NULL_ACCOUNTANT
 from repro.config import MachineConfig
 from repro.errors import DeadlockError, LivelockError, SimulationError
+from repro.observability.events import (
+    DeadlockDetected,
+    SimEnded,
+    SimStarted,
+    SpinSegment,
+    ThreadDescheduled,
+    ThreadDispatched,
+    WatchdogFired,
+    YieldInterval,
+)
 from repro.robustness.snapshot import capture_snapshot
 from repro.osmodel.thread import (
     BLOCKED,
@@ -130,17 +140,22 @@ class Simulation:
         trace=None,
         barrier_observer=None,
         fast_forward: bool = True,
+        bus=None,
     ) -> None:
         self.machine = machine
         self.program = program
         self.accountant = accountant
         self.trace = trace
         self.barrier_observer = barrier_observer
+        #: optional observability EventBus; every emission is guarded by
+        #: ``is not None`` and sits on scheduling-frequency paths only,
+        #: so the disabled run pays nothing on the per-op hot loop
+        self.bus = bus
         #: instruction-block fast-forward through quiescent regions; off
         #: switches back to the one-op-per-iteration reference loop (the
         #: two must produce identical results — see tests/parallel/)
         self.fast_forward = fast_forward
-        self.chip = Chip(machine, accountant)
+        self.chip = Chip(machine, accountant, bus=bus)
         self.sync = SyncManager(
             program.n_threads,
             lock_fifo_handoff=getattr(program, "lock_fifo_handoff", False),
@@ -194,6 +209,8 @@ class Simulation:
         self._warm_caches()
         n_threads = len(self.threads)
         fast_forward = self.fast_forward
+        if self.bus is not None:
+            self.bus.emit(SimStarted(n_threads, self.machine.n_cores))
         steps = 0
         last_progress = self._progress_metric()
         last_progress_time = 0
@@ -202,6 +219,10 @@ class Simulation:
             if core is None:
                 blocked = [t.tid for t in self.threads if t.state == BLOCKED]
                 logger.error("deadlock: blocked threads %s", blocked)
+                if self.bus is not None:
+                    self.bus.emit(DeadlockDetected(
+                        max(c.now for c in self.cores), tuple(blocked)
+                    ))
                 raise self._error(DeadlockError(
                     f"no runnable core; blocked threads: {blocked}"
                 ))
@@ -233,6 +254,10 @@ class Simulation:
         logger.debug(
             "run complete: %d threads, %d cycles", n_threads, total
         )
+        if self.bus is not None:
+            self.bus.emit(SimEnded(
+                total, sum(t.instrs for t in self.threads), False
+            ))
         return SimResult(
             machine=self.machine,
             threads=self.threads,
@@ -278,6 +303,11 @@ class Simulation:
             "run truncated (%s) at t=%d with %d/%d threads unfinished",
             reason, now, unfinished, len(self.threads),
         )
+        if self.bus is not None:
+            self.bus.emit(WatchdogFired(reason, now))
+            self.bus.emit(SimEnded(
+                now, sum(t.instrs for t in self.threads), True, reason
+            ))
         return SimResult(
             machine=self.machine,
             threads=self.threads,
@@ -368,6 +398,12 @@ class Simulation:
                 self.accountant.on_yield_interval(
                     thread.tid, thread.block_start, core.now
                 )
+        if self.bus is not None:
+            if thread.block_reason == BLOCK_SYNC:
+                self.bus.emit(YieldInterval(
+                    thread.tid, core.core_id, thread.block_start, core.now
+                ))
+            self.bus.emit(ThreadDispatched(thread.tid, core.core_id, core.now))
         thread.block_reason = ""
         thread.state = RUNNING
         thread.run_start = core.now
@@ -477,6 +513,14 @@ class Simulation:
             return
         if not any(t.ready_time <= core.now for t in core.queue):
             return
+        bus = self.bus
+        if bus is not None and thread.spin is not None:
+            # the preemption drain below happens outside the spin-step
+            # extent, so the segment ends before it (gt_spin parity)
+            bus.emit(SpinSegment(
+                thread.tid, core.core_id,
+                thread.spin.segment_start, core.now, "preempted",
+            ))
         core.now += self.chip.drain(core.core_id, core.now)
         thread.state = READY
         thread.ready_time = core.now
@@ -485,6 +529,10 @@ class Simulation:
         core.current = None
         if self.trace is not None:
             self.trace.on_run_end(thread.tid, core.now, "preempted")
+        if bus is not None:
+            bus.emit(ThreadDescheduled(
+                thread.tid, core.core_id, core.now, "preempted"
+            ))
 
     # ------------------------------------------------------------------
     # op execution
@@ -536,6 +584,10 @@ class Simulation:
             core.current = None
             if self.trace is not None:
                 self.trace.on_run_end(thread.tid, core.now, "preempted")
+            if self.bus is not None:
+                self.bus.emit(ThreadDescheduled(
+                    thread.tid, cid, core.now, "preempted"
+                ))
         elif tag == TAG_FUTEX_WAIT:
             core.now += self.chip.drain(cid, core.now)
             self.sync.futex_queue(op.addr).append(thread)
@@ -546,6 +598,10 @@ class Simulation:
             core.current = None
             if self.trace is not None:
                 self.trace.on_run_end(thread.tid, core.now, "blocked")
+            if self.bus is not None:
+                self.bus.emit(ThreadDescheduled(
+                    thread.tid, cid, core.now, "blocked"
+                ))
         elif tag == TAG_FUTEX_WAKE:
             queue = self.sync.futex_queue(op.addr)
             if op.wake_all:
@@ -564,6 +620,10 @@ class Simulation:
         self._n_finished += 1
         if self.trace is not None:
             self.trace.on_run_end(thread.tid, core.now, "finished")
+        if self.bus is not None:
+            self.bus.emit(ThreadDescheduled(
+                thread.tid, core.core_id, core.now, "finished"
+            ))
 
     # ------------------------------------------------------------------
     # synchronization state machines
@@ -601,6 +661,11 @@ class Simulation:
         )
         if thread.spin is not None:
             lock.total_wait_cycles += core.now - thread.spin.contention_start
+            if self.bus is not None:
+                self.bus.emit(SpinSegment(
+                    thread.tid, core.core_id,
+                    thread.spin.segment_start, core.now, "acquired",
+                ))
         lock.holder = thread
         lock.hold_start = core.now
         lock.n_acquires += 1
@@ -710,10 +775,20 @@ class Simulation:
                 ctx.obj.hold_start = core.now
                 ctx.obj.n_acquires += 1
                 thread.n_lock_acquires += 1
+                if self.bus is not None:
+                    self.bus.emit(SpinSegment(
+                        thread.tid, cid, ctx.segment_start, core.now,
+                        "acquired",
+                    ))
                 thread.spin = None
                 return
         else:
             if ctx.obj.generation != ctx.my_generation:
+                if self.bus is not None:
+                    self.bus.emit(SpinSegment(
+                        thread.tid, cid, ctx.segment_start, core.now,
+                        "released",
+                    ))
                 thread.spin = None
                 return
         if ctx.iters >= self._spin_threshold:
@@ -727,6 +802,13 @@ class Simulation:
                 core.core_id, core.now - ctx.episode_start
             )
         core.now += self.chip.drain(core.core_id, core.now)
+        if self.bus is not None:
+            # this drain runs inside the spin step's extent, so it is
+            # part of gt_spin_cycles — the segment ends after it
+            self.bus.emit(SpinSegment(
+                thread.tid, core.core_id,
+                ctx.segment_start, core.now, "yielded",
+            ))
         waiters = ctx.obj.waiters
         waiters.append(thread)
         thread.state = BLOCKED
@@ -736,6 +818,10 @@ class Simulation:
         core.current = None
         if self.trace is not None:
             self.trace.on_run_end(thread.tid, core.now, "blocked")
+        if self.bus is not None:
+            self.bus.emit(ThreadDescheduled(
+                thread.tid, core.core_id, core.now, "blocked"
+            ))
 
     def _wake(self, thread: SoftwareThread, now: int) -> None:
         thread.state = READY
@@ -751,10 +837,11 @@ def simulate(
     livelock_window: int | None = None,
     on_timeout: str = "raise",
     fast_forward: bool = True,
+    bus=None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
     return Simulation(machine, program, accountant,
-                      fast_forward=fast_forward).run(
+                      fast_forward=fast_forward, bus=bus).run(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,

@@ -106,6 +106,15 @@ class WayPartitionedCache:
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
 
+    def counters(self) -> dict[str, int]:
+        """Post-run counter snapshot (see :meth:`SetAssocCache.counters`)."""
+        return {
+            "hits": self.n_hits,
+            "misses": self.n_misses,
+            "evictions": self.n_evictions,
+            "occupancy": self.occupancy(),
+        }
+
     def lines_in_set(self, set_index: int) -> list[int]:
         return list(self._sets[set_index].keys())
 

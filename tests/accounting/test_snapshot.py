@@ -1,0 +1,102 @@
+"""``CycleAccountant.snapshot`` and its public-API route.
+
+The snapshot is the accountant's raw cumulative counter state — the
+numbers every speedup-stack component is computed *from*.  These tests
+pin the per-component totals against the post-processed report and the
+engine's ground truth, and check the ``repro.accounted_snapshot``
+facade returns exactly what a hand-wired accountant would.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.accounting.accountant import CycleAccountant
+from repro.config import MachineConfig
+from repro.sim.engine import Simulation
+
+from tests.conftest import lock_step_program
+
+N_THREADS = 4
+
+
+def run_with_accountant(machine=None):
+    machine = machine or MachineConfig(n_cores=N_THREADS)
+    program = lock_step_program(N_THREADS)
+    accountant = CycleAccountant(machine)
+    result = Simulation(machine, program, accountant).run()
+    return machine, result, accountant
+
+
+class TestSnapshotTotals:
+    def test_per_core_shapes(self):
+        machine, _, accountant = run_with_accountant()
+        snap = accountant.snapshot()
+        per_core_keys = (
+            "llc_accesses", "llc_load_misses",
+            "llc_load_miss_blocked_stall", "neg_llc_sampled_stall",
+            "neg_mem_stall", "spin", "inter_hits", "coherency",
+        )
+        for key in per_core_keys:
+            assert len(snap[key]) == machine.n_cores, key
+
+    def test_totals_match_report_raw_counters(self):
+        machine, result, accountant = run_with_accountant()
+        snap = accountant.snapshot()
+        for core in range(machine.n_cores):
+            raw = accountant.raw_counters(core)
+            assert snap["llc_accesses"][core] == raw.llc_accesses
+            assert snap["llc_load_misses"][core] == raw.llc_load_misses
+            assert (snap["llc_load_miss_blocked_stall"][core]
+                    == raw.llc_load_miss_blocked_stall)
+            assert (snap["neg_llc_sampled_stall"][core]
+                    == raw.sampled_inter_miss_blocked_stall)
+            assert (snap["neg_mem_stall"][core]
+                    == raw.memory_interference_stall)
+
+    def test_spin_totals_include_truncated_cycles(self):
+        machine, _, accountant = run_with_accountant()
+        accountant.on_spin_truncated(0, 123)
+        snap = accountant.snapshot()
+        assert snap["spin"][0] == accountant.spin_cycles_of(0)
+        assert snap["spin"][0] >= 123
+
+    def test_yield_totals_match_engine_ground_truth(self):
+        machine, result, accountant = run_with_accountant()
+        snap = accountant.snapshot()
+        gt_yield = {
+            thread.tid: thread.gt_yield_cycles
+            for thread in result.threads
+            if thread.gt_yield_cycles
+        }
+        assert snap["yield"] == gt_yield
+
+    def test_snapshot_is_a_copy(self):
+        _, _, accountant = run_with_accountant()
+        snap = accountant.snapshot()
+        snap["llc_accesses"][0] += 1000
+        assert accountant.snapshot()["llc_accesses"][0] != (
+            snap["llc_accesses"][0]
+        )
+
+
+class TestAccountedSnapshotFacade:
+    def test_exported(self):
+        assert "accounted_snapshot" in repro.__all__
+        assert callable(repro.accounted_snapshot)
+
+    def test_matches_hand_wired_accountant(self):
+        machine = MachineConfig(n_cores=N_THREADS)
+        snap = repro.accounted_snapshot(
+            machine, lock_step_program(N_THREADS)
+        )
+        _, _, accountant = run_with_accountant(machine)
+        assert snap == accountant.snapshot()
+
+    def test_truncated_run_still_yields_totals(self):
+        machine = MachineConfig(n_cores=N_THREADS)
+        snap = repro.accounted_snapshot(
+            machine, lock_step_program(N_THREADS),
+            max_cycles=2_000, on_timeout="truncate",
+        )
+        assert sum(snap["llc_accesses"]) >= 0
+        assert len(snap["spin"]) == machine.n_cores

@@ -1,0 +1,192 @@
+"""Timeline recorder: reconciliation with ground truth, trace-event
+validity, and the golden Chrome-trace fixture.
+
+The golden cell matches ``tests/golden``'s cholesky:2 pin (SCALE=0.2,
+MAX_CYCLES=20M) so the trace is cross-checked against the same stack
+fixture: total cycles and actual speedup must agree exactly.
+
+After an *intended* engine/scheduling change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/observability --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.observability.events import EventBus, SimEnded, SimStarted
+from repro.observability.timeline import (
+    TRACK_NAMES,
+    TimelineRecorder,
+    interval_sums,
+    trace_cell,
+    validate_trace_events,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN_CELL = ("cholesky", 2)
+SCALE = 0.2
+MAX_CYCLES = 20_000_000
+
+
+@pytest.fixture(scope="module")
+def traced():
+    result, recorder = trace_cell(
+        GOLDEN_CELL[0], GOLDEN_CELL[1], scale=SCALE, max_cycles=MAX_CYCLES,
+    )
+    return result, recorder
+
+
+class TestReconciliation:
+    def test_spin_segments_tile_ground_truth(self, traced):
+        result, recorder = traced
+        sums = interval_sums(recorder)
+        gt = {
+            thread.tid: thread.gt_spin_cycles
+            for thread in result.mt_result.threads
+            if thread.gt_spin_cycles
+        }
+        assert sums["spin_cycles_by_thread"] == gt
+
+    def test_yield_intervals_tile_ground_truth(self, traced):
+        result, recorder = traced
+        sums = interval_sums(recorder)
+        gt = {
+            thread.tid: thread.gt_yield_cycles
+            for thread in result.mt_result.threads
+            if thread.gt_yield_cycles
+        }
+        assert sums["yield_cycles_by_thread"] == gt
+
+    def test_interference_matches_accountant_raw_counters(self, traced):
+        result, recorder = traced
+        sums = interval_sums(recorder)
+        for raw in result.report.cores:
+            assert (
+                sums["interference_by_core"].get(raw.core_id, 0)
+                == raw.memory_interference_stall
+            )
+
+    def test_load_miss_windows_match_blocked_stall(self, traced):
+        result, recorder = traced
+        blocked = {}
+        for core, start, end, _, is_load in recorder.miss_intervals:
+            if is_load:
+                blocked[core] = blocked.get(core, 0) + (end - start)
+        for raw in result.report.cores:
+            assert (
+                blocked.get(raw.core_id, 0)
+                == raw.llc_load_miss_blocked_stall
+            )
+
+    def test_run_intervals_end_at_thread_end_times(self, traced):
+        result, recorder = traced
+        sums = interval_sums(recorder)
+        for thread in result.mt_result.threads:
+            assert sums["last_run_end_by_thread"][thread.tid] == (
+                thread.end_time
+            )
+
+    def test_total_cycles_recorded(self, traced):
+        result, recorder = traced
+        assert recorder.total_cycles == result.mt_result.total_cycles
+        assert not recorder.truncated
+
+    def test_attaching_a_recorder_does_not_perturb_the_run(self, traced):
+        from repro.config import MachineConfig
+        from repro.sim.engine import Simulation
+        from repro.workloads.spec import build_program
+        from repro.workloads.suite import by_name
+
+        result, _ = traced
+        spec = by_name(GOLDEN_CELL[0])
+        machine = MachineConfig(n_cores=GOLDEN_CELL[1])
+        bare = Simulation(
+            machine, build_program(spec, GOLDEN_CELL[1], scale=SCALE)
+        ).run()
+        assert bare.total_cycles == result.mt_result.total_cycles
+
+
+class TestTruncatedRuns:
+    def test_open_intervals_closed_at_cut_point(self):
+        bus = EventBus()
+        recorder = TimelineRecorder().attach(bus)
+        from repro.observability.events import ThreadDispatched
+
+        bus.emit(SimStarted(2, 2))
+        bus.emit(ThreadDispatched(tid=0, core=0, t=100))
+        bus.emit(SimEnded(total_cycles=500, total_instrs=1,
+                          truncated=True, reason="watchdog"))
+        assert recorder.truncated
+        assert recorder.run_intervals == [(0, 0, 100, 500, "truncated")]
+
+
+class TestExportValidity:
+    def test_validate_accepts_our_export(self, traced):
+        _, recorder = traced
+        doc = json.loads(recorder.to_chrome_trace())
+        assert validate_trace_events(doc) == []
+
+    def test_validate_rejects_malformed_documents(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({"traceEvents": 3}) != []
+        bad_event = {"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": -1, "dur": 1}
+        ]}
+        assert any("bad ts" in p for p in validate_trace_events(bad_event))
+
+    def test_every_core_gets_named_tracks(self, traced):
+        _, recorder = traced
+        events = recorder.to_trace_events()
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for core in range(recorder.n_cores):
+            for track, label in TRACK_NAMES.items():
+                assert names[(core, track)] == label
+
+
+class TestGoldenTrace:
+    def test_golden_chrome_trace(self, traced, request):
+        _, recorder = traced
+        actual = json.loads(recorder.to_chrome_trace())
+        path = FIXTURES / (
+            f"trace_{GOLDEN_CELL[0]}_n{GOLDEN_CELL[1]}.json"
+        )
+        if request.config.getoption("--update-golden"):
+            FIXTURES.mkdir(exist_ok=True)
+            path.write_text(json.dumps(actual, indent=1) + "\n")
+            pytest.skip(f"golden trace rewritten: {path.name}")
+        assert path.exists(), (
+            f"missing golden trace {path}; generate with --update-golden"
+        )
+        expected = json.loads(path.read_text())
+        assert actual["traceEvents"] == expected["traceEvents"]
+
+    def test_golden_trace_reconciles_with_golden_stack(self, traced):
+        """The trace and the golden *stack* fixture pin the same cell —
+        their shared observables must agree exactly."""
+        stack_fixture = (
+            Path(__file__).parent.parent / "golden" / "fixtures"
+            / f"{GOLDEN_CELL[0]}_n{GOLDEN_CELL[1]}.json"
+        )
+        stack = json.loads(stack_fixture.read_text())
+        result, recorder = traced
+        assert recorder.total_cycles == stack["tp_cycles"]
+        assert result.stack.actual_speedup == pytest.approx(
+            stack["actual_speedup"]
+        )
+        # threads with spin/yield cycles in the trace imply non-zero
+        # spinning/yielding components in the stack, and vice versa
+        sums = interval_sums(recorder)
+        assert bool(sums["spin_cycles_by_thread"]) == (
+            stack["components"]["spinning"] > 0
+        )
+        assert bool(sums["yield_cycles_by_thread"]) == (
+            stack["components"]["yielding"] > 0
+        )

@@ -16,7 +16,8 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("list", "stack", "curve", "tree", "regions",
-                        "timeline", "cpi", "cost", "run-trace", "sweep"):
+                        "timeline", "cpi", "cost", "run-trace", "trace",
+                        "sweep"):
             assert command in text
 
     def test_requires_command(self):
@@ -141,3 +142,82 @@ class TestSweep:
     def test_unknown_benchmark_listed_up_front(self):
         with pytest.raises(KeyError):
             main(["sweep", "--benchmarks", "choleski", "-n", "2"])
+
+
+class TestTrace:
+    def test_trace_writes_valid_chrome_json(self, capsys, tmp_path):
+        from repro.observability import validate_trace_events
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "cholesky", "-n", "2", "--scale", "0.1",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cholesky:2" in out and str(out_path) in out
+        doc = json.loads(out_path.read_text())
+        assert validate_trace_events(doc) == []
+        assert doc["otherData"]["benchmark"] == "cholesky"
+
+    def test_trace_max_cycles_reports_truncation(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "cholesky", "-n", "2", "--scale", "0.1",
+                     "--max-cycles", "2000",
+                     "--out", str(out_path)]) == 0
+        assert "TRUNCATED" in capsys.readouterr().out
+
+
+class TestSweepTelemetry:
+    BASE = ["sweep", "--benchmarks", "blackscholes_small", "-n", "2"] + SCALE
+
+    def test_emit_metrics_writes_registry(self, capsys, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(self.BASE + ["--emit-metrics", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["counters"]["sim.cells"] == 1
+        assert doc["counters"]["runtime.cells_ok"] == 1
+        assert f"metrics written to {path}" in capsys.readouterr().out
+
+    def test_progress_renders_to_stderr(self, capsys):
+        assert main(self.BASE + ["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "sweep 1/1 ok=1" in err
+        assert "finished" in err
+
+    def test_heartbeat_without_progress_keeps_stderr_quiet(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "heartbeat.json"
+        assert main(self.BASE + ["--heartbeat", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["done"] == doc["total"] == 1
+        assert "sweep 1/1" not in capsys.readouterr().err
+
+
+class TestLogging:
+    def test_repeated_invocations_do_not_stack_handlers(self):
+        import logging
+
+        root = logging.getLogger()
+        main(["-v", "list"])
+        first = len(root.handlers)
+        main(["-v", "list"])
+        main(["list"])
+        assert len(root.handlers) == first
+
+    def test_log_json_emits_one_object_per_record(self, capsys):
+        assert main(["--log-json", "-v", "sweep", "--benchmarks",
+                     "blackscholes_small", "-n", "2"] + SCALE) == 0
+        err_lines = [
+            line for line in capsys.readouterr().err.splitlines() if line
+        ]
+        assert err_lines
+        for line in err_lines:
+            record = json.loads(line)
+            assert {"ts", "level", "logger", "message"} <= set(record)
+
+    def test_verbosity_level_updates_on_reinvocation(self, capsys):
+        import logging
+
+        main(["-v", "list"])
+        assert logging.getLogger().level == logging.INFO
+        main(["list"])
+        assert logging.getLogger().level == logging.WARNING

@@ -45,6 +45,10 @@ def main(argv=None) -> int:
     parser.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES)
     parser.add_argument("--out", default="BENCH_sweep.json",
                         help="output JSON path (default: BENCH_sweep.json)")
+    parser.add_argument("--max-observability-overhead", type=float,
+                        default=None, metavar="PCT",
+                        help="fail (exit 1) when enabled-instrumentation "
+                             "overhead exceeds this percentage")
     args = parser.parse_args(argv)
 
     if args.jobs_list:
@@ -65,6 +69,15 @@ def main(argv=None) -> int:
     write_bench(doc, args.out)
     print(render_bench(doc))
     print(f"written to {args.out}")
+    if args.max_observability_overhead is not None:
+        overhead = doc["observability"]["overhead_pct"]
+        if overhead > args.max_observability_overhead:
+            print(
+                f"FAIL: instrumentation overhead {overhead:.1f}% exceeds "
+                f"the {args.max_observability_overhead:.1f}% budget",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

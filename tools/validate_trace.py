@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file written by ``repro trace``.
+
+Structural validation (the checks Chrome/Perfetto actually need to load
+the file) plus trace-specific sanity: every interval lies inside the
+recorded total-cycle span and each core's tracks carry name metadata.
+Run from the repo root::
+
+    PYTHONPATH=src python tools/validate_trace.py trace.json
+
+Exit status 0 when the document is valid, 1 with one problem per line
+on stderr otherwise — made for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.observability import validate_trace_events  # noqa: E402
+
+
+def extra_checks(doc: dict) -> list[str]:
+    """Checks beyond the trace-event format that hold for our exporter."""
+    problems: list[str] = []
+    events = doc.get("traceEvents", [])
+    total = doc.get("otherData", {}).get("total_cycles")
+    named_pids = {
+        e.get("pid") for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    for i, event in enumerate(events):
+        if event.get("ph") != "X":
+            continue
+        if event.get("pid") not in named_pids:
+            problems.append(
+                f"traceEvents[{i}]: interval on unnamed pid "
+                f"{event.get('pid')!r}"
+            )
+        if total is not None and event["ts"] + event["dur"] > total:
+            problems.append(
+                f"traceEvents[{i}]: interval ends at "
+                f"{event['ts'] + event['dur']} past total_cycles {total}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace-event JSON file to validate")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    problems = validate_trace_events(doc) + extra_checks(doc)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"INVALID: {len(problems)} problem(s) in {args.path}",
+              file=sys.stderr)
+        return 1
+
+    events = doc["traceEvents"]
+    n_intervals = sum(1 for e in events if e.get("ph") == "X")
+    print(f"{args.path}: valid ({len(events)} events, "
+          f"{n_intervals} intervals)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
