@@ -22,6 +22,7 @@ Quickstart::
     print(render_stack(result.stack))
 """
 
+from repro import components
 from repro.accounting.accountant import CycleAccountant
 from repro.accounting.hardware_cost import (
     HardwareCost,
@@ -32,13 +33,21 @@ from repro.accounting.report import AccountingReport, ThreadComponents
 from repro.config import (
     KB,
     MB,
+    ON_ERROR_MODES,
     AccountingConfig,
     CacheConfig,
     CoreConfig,
     DramConfig,
+    ExperimentConfig,
     MachineConfig,
+    RunConfig,
     SchedConfig,
     SyncConfig,
+    WorkloadConfig,
+    dump_config,
+    load_config,
+    machine_from_dict,
+    machine_to_dict,
 )
 from repro.core.analysis import LlcInterference, llc_interference
 from repro.core.cpi import CpiStack, cpi_stacks, render_cpi_stacks
@@ -194,6 +203,7 @@ __all__ = [
     "capture_snapshot",
     "CellOutcome",
     "classification_tree",
+    "components",
     "ClassificationTree",
     "ClassifiedBenchmark",
     "classify_stack",
@@ -206,6 +216,7 @@ __all__ = [
     "CycleAccountant",
     "DeadlockError",
     "DramConfig",
+    "dump_config",
     "dump_program",
     "dump_trace",
     "EngineSnapshot",
@@ -214,6 +225,7 @@ __all__ = [
     "estimate_cost",
     "EventBus",
     "ExperimentCache",
+    "ExperimentConfig",
     "ExperimentError",
     "ExperimentResult",
     "FaultInjector",
@@ -232,17 +244,21 @@ __all__ = [
     "llc_size_sweep",
     "LlcInterference",
     "Load",
+    "load_config",
     "load_trace",
     "lock_profiles",
     "LockAcquire",
     "LockProfile",
     "LockRelease",
     "MachineConfig",
+    "machine_from_dict",
+    "machine_to_dict",
     "make_fault",
     "MB",
     "mean_absolute_error",
     "MetricsRegistry",
     "MultiProgramResult",
+    "ON_ERROR_MODES",
     "Opportunity",
     "optimization_opportunities",
     "parse_trace",
@@ -273,6 +289,7 @@ __all__ = [
     "run_multiprogram",
     "run_reference",
     "run_region_experiment",
+    "RunConfig",
     "RunInterval",
     "RunPolicy",
     "scaling_class",
@@ -302,5 +319,6 @@ __all__ = [
     "validation_sweep",
     "ValidationRow",
     "WayPartitionedCache",
+    "WorkloadConfig",
     "YieldCpu",
 ]

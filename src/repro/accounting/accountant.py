@@ -27,8 +27,7 @@ from repro.accounting.report import (
     CoreRawCounters,
     ThreadComponents,
 )
-from repro.accounting.spin_li import LiSpinDetector
-from repro.accounting.spin_tian import TianSpinDetector
+from repro.components.registry import resolve
 from repro.config import MachineConfig
 from repro.errors import SimulationError
 from repro.sim.memory import DramAccessResult
@@ -59,12 +58,12 @@ class CycleAccountant:
             else None
         )
         self.oras = [OpenRowArray(machine.dram.n_banks) for _ in range(n)]
-        self.tian = [
-            TianSpinDetector(config.spin_table_entries, config.spin_value_threshold)
-            for _ in range(n)
-        ]
-        self.li = [LiSpinDetector() for _ in range(n)]
-        self._use_tian = config.spin_detector == "tian"
+        #: one spin detector per core, built from the registered
+        #: ``spin_detector`` factory; every detector receives both event
+        #: streams (loads and backward branches) and uses the one its
+        #: scheme needs
+        detector_factory = resolve("spin_detector", config.spin_detector)
+        self.spin_detectors = [detector_factory(config) for _ in range(n)]
         self._account_coherency = config.account_coherency
 
         self.llc_accesses = [0] * n
@@ -151,16 +150,14 @@ class CycleAccountant:
         writer_core: int,
         now: int,
     ) -> None:
-        if self._use_tian:
-            self.tian[core_id].on_load(
-                pc, addr, value_version, writer_core, now, core_id
-            )
+        self.spin_detectors[core_id].on_load(
+            pc, addr, value_version, writer_core, now, core_id
+        )
 
     def on_backward_branch(
         self, core_id: int, pc: int, state_signature: int, now: int
     ) -> None:
-        if not self._use_tian:
-            self.li[core_id].on_backward_branch(pc, state_signature, now)
+        self.spin_detectors[core_id].on_backward_branch(pc, state_signature, now)
 
     def on_coherency_miss(self, core_id: int, blocked_cycles: int) -> None:
         if self._account_coherency:
@@ -172,8 +169,7 @@ class CycleAccountant:
             self.bus.emit(SpinTruncated(core_id, elapsed_cycles))
 
     def on_context_switch(self, core_id: int) -> None:
-        self.tian[core_id].flush()
-        self.li[core_id].flush()
+        self.spin_detectors[core_id].flush()
 
     def on_yield_interval(self, thread_id: int, t_out: int, t_in: int) -> None:
         self.yield_cycles[thread_id] = (
@@ -207,12 +203,12 @@ class CycleAccountant:
     # ------------------------------------------------------------------
 
     def spin_cycles_of(self, core_id: int) -> int:
-        detector = self.tian[core_id] if self._use_tian else self.li[core_id]
+        detector = self.spin_detectors[core_id]
         return detector.spin_cycles + self.spin_truncated[core_id]
 
     def raw_counters(self, core_id: int) -> CoreRawCounters:
         atd = self.atds[core_id]
-        detector = self.tian[core_id] if self._use_tian else self.li[core_id]
+        detector = self.spin_detectors[core_id]
         return CoreRawCounters(
             core_id=core_id,
             sample_period=self.machine.accounting.atd_sample_period,

@@ -62,6 +62,17 @@ class LiSpinDetector:
             entry.first_seen = now
             entry.credited_until = now
 
+    def on_load(
+        self,
+        pc: int,
+        addr: int,
+        value: int,
+        writer_core: int,
+        now: int,
+        self_core: int,
+    ) -> None:
+        """Load stream is unused by this scheme (protocol no-op)."""
+
     def flush(self) -> None:
         self._table.clear()
 

@@ -81,6 +81,9 @@ class TianSpinDetector:
         entry.marked = False
         entry.timestamp = now
 
+    def on_backward_branch(self, pc: int, state_signature: int, now: int) -> None:
+        """Branch stream is unused by this scheme (protocol no-op)."""
+
     def flush(self) -> None:
         """Context switch: the table contents belong to the old thread."""
         self._table.clear()

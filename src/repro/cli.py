@@ -31,7 +31,14 @@ import os
 import sys
 
 from repro.accounting.hardware_cost import estimate_cost
-from repro.config import MB, MachineConfig
+from repro.components import available, kinds
+from repro.config import (
+    MB,
+    ExperimentConfig,
+    MachineConfig,
+    dumps_toml,
+    load_config,
+)
 from repro.core.cpi import cpi_stacks, render_cpi_stacks
 from repro.core.regions import run_region_experiment
 from repro.core.rendering import (
@@ -81,6 +88,20 @@ def _machine(args) -> MachineConfig:
     return machine
 
 
+def _load_experiment(args) -> ExperimentConfig:
+    """The experiment behind ``--config FILE`` (defaults without one).
+
+    Commands taking ``--config`` declare their overlapping flags with
+    ``default=None`` so an *explicitly passed* flag always overrides the
+    file, while an absent flag falls back to the file's value (and the
+    file's absence falls back to the built-in defaults).
+    """
+    path = getattr(args, "config", None)
+    if path is None:
+        return ExperimentConfig()
+    return load_config(path)
+
+
 def cmd_list(args) -> int:
     print(f"{'benchmark':<24s}{'suite':<10s}{'paper S16':>10s}  "
           f"{'class':<10s} expected bottlenecks")
@@ -95,11 +116,29 @@ def cmd_list(args) -> int:
 
 def cmd_stack(args) -> int:
     spec = by_name(args.benchmark)
-    machine = _machine(args)
+    experiment = _load_experiment(args)
+    n_threads = (
+        args.threads if args.threads is not None
+        else experiment.workload.thread_counts[0]
+    )
+    scale = (
+        args.scale if args.scale is not None else experiment.workload.scale
+    )
+    machine = experiment.machine.with_cores(n_threads)
+    if getattr(args, "llc_mb", None):
+        machine = machine.with_llc_size(int(args.llc_mb * MB))
+    run = experiment.run
     result = run_experiment(
         spec.full_name, machine,
-        build_program(spec, args.threads, scale=args.scale),
-        build_program(spec, 1, scale=args.scale),
+        build_program(spec, n_threads, scale=scale),
+        build_program(spec, 1, scale=scale),
+        max_cycles=run.max_cycles,
+        livelock_window=run.livelock_window,
+        on_timeout=(
+            "truncate"
+            if run.max_cycles is not None or run.livelock_window is not None
+            else "raise"
+        ),
     )
     print(render_stack(result.stack))
     print()
@@ -269,17 +308,42 @@ def _parse_injections(specs: list[str] | None) -> dict[str, str]:
 
 
 def cmd_sweep(args) -> int:
+    experiment = _load_experiment(args)
+    workload, run = experiment.workload, experiment.run
     benchmarks = (
-        tuple(args.benchmarks.split(",")) if args.benchmarks else None
+        tuple(args.benchmarks.split(",")) if args.benchmarks
+        else workload.benchmarks
     )
-    thread_counts = tuple(int(n) for n in str(args.threads).split(","))
+    thread_counts = (
+        tuple(int(n) for n in str(args.threads).split(","))
+        if args.threads is not None
+        else workload.thread_counts
+    )
+    scale = args.scale if args.scale is not None else workload.scale
+    jobs = args.jobs if args.jobs is not None else run.jobs
+    #: the machine only deviates from the per-cell paper default when a
+    #: config file supplies one
+    machine = experiment.machine if args.config else None
     cells = sweep_cells(benchmarks, thread_counts)
     policy = RunPolicy(
-        on_error=args.on_error,
-        max_retries=args.retries,
-        backoff_s=args.backoff,
-        max_cycles=args.max_cycles,
-        livelock_window=args.livelock_window,
+        on_error=(
+            args.on_error if args.on_error is not None else run.on_error
+        ),
+        max_retries=(
+            args.retries if args.retries is not None else run.max_retries
+        ),
+        backoff_s=(
+            args.backoff if args.backoff is not None else run.backoff_s
+        ),
+        backoff_factor=run.backoff_factor,
+        max_cycles=(
+            args.max_cycles if args.max_cycles is not None
+            else run.max_cycles
+        ),
+        livelock_window=(
+            args.livelock_window if args.livelock_window is not None
+            else run.livelock_window
+        ),
     )
     fault_plan = _parse_injections(args.inject)
     journal = SweepJournal(args.journal)
@@ -291,14 +355,16 @@ def cmd_sweep(args) -> int:
         # drives the heartbeat file off the same reporter
         ProgressReporter(
             len(cells),
-            jobs=args.jobs,
+            jobs=jobs,
             stream=sys.stderr if args.progress else io.StringIO(),
             heartbeat_path=args.heartbeat,
         ).attach(bus)
-    if args.jobs > 1:
+    if jobs > 1:
         report = run_parallel_sweep(
-            cells_from_sweep(cells, scale=args.scale, fault_kinds=fault_plan),
-            jobs=args.jobs,
+            cells_from_sweep(
+                cells, scale=scale, fault_kinds=fault_plan, machine=machine
+            ),
+            jobs=jobs,
             policy=policy,
             journal=journal,
             resume=args.resume,
@@ -308,11 +374,12 @@ def cmd_sweep(args) -> int:
     else:
         runner = BatchRunner(
             policy=policy,
-            scale=args.scale,
+            scale=scale,
             journal=journal,
             fault_plan=fault_plan,
             bus=bus,
             metrics=metrics,
+            machine_factory=machine.with_cores if machine is not None else None,
         )
         report = runner.run_sweep(cells, resume=args.resume)
     if metrics is not None:
@@ -342,25 +409,90 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    experiment = _load_experiment(args)
     if args.jobs_list:
         jobs_list = tuple(int(j) for j in args.jobs_list.split(","))
     else:
         jobs_list = (1, os.cpu_count() or 1)
+    # bench keeps its own (smaller) fallback defaults when neither the
+    # flag nor a config file specifies the value
     benchmarks = (
-        tuple(args.benchmarks.split(",")) if args.benchmarks else None
+        tuple(args.benchmarks.split(",")) if args.benchmarks
+        else experiment.workload.benchmarks
     )
+    if args.threads is not None:
+        thread_counts = tuple(int(n) for n in str(args.threads).split(","))
+    elif args.config:
+        thread_counts = experiment.workload.thread_counts
+    else:
+        thread_counts = (2, 4)
+    if args.scale is not None:
+        scale = args.scale
+    elif args.config:
+        scale = experiment.workload.scale
+    else:
+        scale = 0.25
+    if args.max_cycles is not None:
+        max_cycles = args.max_cycles
+    elif args.config and experiment.run.max_cycles is not None:
+        max_cycles = experiment.run.max_cycles
+    else:
+        max_cycles = 20_000_000
     doc = run_bench(
         benchmarks=benchmarks,
-        thread_counts=tuple(int(n) for n in str(args.threads).split(",")),
-        scale=args.scale,
+        thread_counts=thread_counts,
+        scale=scale,
         jobs_list=jobs_list,
         repeats=args.repeats,
-        max_cycles=args.max_cycles,
+        max_cycles=max_cycles,
     )
     print(render_bench(doc))
     if args.out:
         write_bench(doc, args.out)
         print(f"written to {args.out}")
+    return 0
+
+
+def cmd_config_show(args) -> int:
+    """Print the fully resolved experiment config (defaults merged in)."""
+    experiment = (
+        load_config(args.path) if args.path else ExperimentConfig()
+    )
+    doc = experiment.to_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(dumps_toml(doc), end="")
+    return 0
+
+
+def cmd_config_validate(args) -> int:
+    """Validate a config file: schema, registry choices, suite names."""
+    experiment = load_config(args.path)
+    for name in experiment.workload.benchmarks or ():
+        by_name(name)  # raises KeyError with close-match suggestions
+    workload = experiment.workload
+    n_bench = (
+        len(workload.benchmarks) if workload.benchmarks is not None
+        else len(SUITE)
+    )
+    print(f"{args.path}: OK")
+    print(
+        f"  machine: {experiment.machine.n_cores} cores, "
+        f"LLC {experiment.machine.llc.size_bytes // MB}MB "
+        f"{experiment.machine.llc.replacement}, "
+        f"spin detector {experiment.machine.accounting.spin_detector}"
+    )
+    print(
+        f"  workload: {n_bench} benchmark(s) x threads "
+        f"{list(workload.thread_counts)}, scale {workload.scale:g}"
+    )
+    print(
+        f"  run: on_error={experiment.run.on_error}, "
+        f"jobs={experiment.run.jobs}"
+    )
+    for kind in kinds():
+        print(f"  registered {kind}: {', '.join(available(kind))}")
     return 0
 
 
@@ -379,13 +511,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p, benchmark=True):
+    def common(p, benchmark=True, configurable=False):
         if benchmark:
             p.add_argument("benchmark", help="suite benchmark, e.g. cholesky")
-        p.add_argument("-n", "--threads", type=int, default=16,
-                       help="threads == cores (default 16)")
-        p.add_argument("--scale", type=float, default=1.0,
-                       help="workload scale factor")
+        if configurable:
+            # default=None so explicit flags override --config values
+            p.add_argument("--config", metavar="FILE", default=None,
+                           help="experiment config file (TOML or JSON); "
+                                "explicit flags override its values")
+            p.add_argument("-n", "--threads", type=int, default=None,
+                           help="threads == cores (default 16)")
+            p.add_argument("--scale", type=float, default=None,
+                           help="workload scale factor")
+        else:
+            p.add_argument("-n", "--threads", type=int, default=16,
+                           help="threads == cores (default 16)")
+            p.add_argument("--scale", type=float, default=1.0,
+                           help="workload scale factor")
         p.add_argument("--llc-mb", type=float, default=None,
                        help="LLC size in MB (default 2)")
 
@@ -393,7 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
                    ).set_defaults(func=cmd_list)
 
     p = sub.add_parser("stack", help="speedup stack for one benchmark")
-    common(p)
+    common(p, configurable=True)
     p.set_defaults(func=cmd_stack)
 
     p = sub.add_parser("curve", help="speedup vs thread count")
@@ -455,21 +597,24 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="hardened suite sweep: journal, retries, fault injection",
     )
+    p.add_argument("--config", metavar="FILE", default=None,
+                   help="experiment config file (TOML or JSON); explicit "
+                        "flags override its values")
     p.add_argument("--benchmarks", default=None,
                    help="comma-separated full names (default: whole suite)")
-    p.add_argument("-n", "--threads", default="16",
+    p.add_argument("-n", "--threads", default=None,
                    help="comma-separated thread counts (default 16)")
-    p.add_argument("--scale", type=float, default=1.0,
+    p.add_argument("--scale", type=float, default=None,
                    help="workload scale factor")
     p.add_argument("--journal", default=None,
                    help="checkpoint journal JSON path (enables --resume)")
     p.add_argument("--resume", action="store_true",
                    help="skip cells the journal already records as ok")
-    p.add_argument("--on-error", choices=ON_ERROR_MODES, default="skip",
+    p.add_argument("--on-error", choices=ON_ERROR_MODES, default=None,
                    help="failing cell policy (default: skip)")
-    p.add_argument("--retries", type=int, default=2,
+    p.add_argument("--retries", type=int, default=None,
                    help="extra attempts per cell with --on-error retry")
-    p.add_argument("--backoff", type=float, default=0.0,
+    p.add_argument("--backoff", type=float, default=None,
                    help="initial retry backoff in seconds")
     p.add_argument("--max-cycles", type=int, default=None,
                    help="watchdog: truncate runs past this simulated time")
@@ -479,7 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject", action="append", metavar="KIND@BENCH:N",
                    help=f"inject a fault into one cell; KIND is one of "
                         f"{', '.join(FAULT_KINDS)} (repeatable)")
-    p.add_argument("-j", "--jobs", type=int, default=1,
+    p.add_argument("-j", "--jobs", type=int, default=None,
                    help="worker processes for the sweep (default 1: "
                         "serial in-process execution)")
     p.add_argument("--emit-metrics", metavar="PATH", default=None,
@@ -496,22 +641,46 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="time the sweep serial vs parallel; emit BENCH_sweep.json",
     )
+    p.add_argument("--config", metavar="FILE", default=None,
+                   help="experiment config file (TOML or JSON); explicit "
+                        "flags override its values")
     p.add_argument("--benchmarks", default=None,
                    help="comma-separated full names (default: whole suite)")
-    p.add_argument("-n", "--threads", default="2,4",
+    p.add_argument("-n", "--threads", default=None,
                    help="comma-separated thread counts (default 2,4)")
-    p.add_argument("--scale", type=float, default=0.25,
+    p.add_argument("--scale", type=float, default=None,
                    help="workload scale factor (default 0.25)")
     p.add_argument("--jobs-list", default=None,
                    help="comma-separated --jobs levels "
                         "(default: 1,<cpu_count>)")
     p.add_argument("--repeats", type=int, default=1,
                    help="repetitions per configuration (best-of)")
-    p.add_argument("--max-cycles", type=int, default=20_000_000,
-                   help="watchdog for every benchmark run")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="watchdog for every benchmark run "
+                        "(default 20,000,000)")
     p.add_argument("--out", default=None,
                    help="also write the JSON document here")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "config",
+        help="inspect and validate experiment config files",
+    )
+    csub = p.add_subparsers(dest="config_command", required=True)
+    ps = csub.add_parser(
+        "show", help="print the resolved experiment config"
+    )
+    ps.add_argument("path", nargs="?", default=None,
+                    help="config file (omit for the built-in defaults)")
+    ps.add_argument("--json", action="store_true",
+                    help="emit JSON instead of TOML")
+    ps.set_defaults(func=cmd_config_show)
+    pv = csub.add_parser(
+        "validate",
+        help="validate a config file (schema, registry names, suite names)",
+    )
+    pv.add_argument("path", help="config file to validate")
+    pv.set_defaults(func=cmd_config_validate)
 
     return parser
 

@@ -1,0 +1,69 @@
+"""DRAM page (row-buffer) policies (extracted from ``sim.memory``).
+
+The outcome constants live here — not in ``sim.memory`` — so policy
+implementations never import the memory model (``sim.memory`` imports
+this module and re-exports the names for backward compatibility).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.components.registry import register
+
+if TYPE_CHECKING:
+    from repro.config import DramConfig
+
+#: the requested page is already in the row buffer
+PAGE_HIT = "hit"
+#: the bank had no page open (activate + access)
+PAGE_EMPTY = "empty"
+#: a different page is open (precharge + activate + access)
+PAGE_CONFLICT = "conflict"
+
+
+@register("page_policy", "open")
+class OpenPagePolicy:
+    """The paper's configuration: a serviced page stays open.
+
+    Back-to-back accesses to the same page by the same core become
+    row-buffer hits; a different core opening another page in between
+    turns them into page conflicts — the open-page interference channel
+    the ORA accounting attributes (Section 4.1).
+    """
+
+    def __init__(self, config: "DramConfig") -> None:
+        self._hit = config.page_hit_cycles
+        self._empty = config.page_empty_cycles
+        self._conflict = config.page_conflict_cycles
+
+    def classify(self, open_page: int | None, page_id: int) -> tuple[str, int]:
+        if open_page is None:
+            return PAGE_EMPTY, self._empty
+        if open_page == page_id:
+            return PAGE_HIT, self._hit
+        return PAGE_CONFLICT, self._conflict
+
+    def page_after(self, page_id: int) -> int | None:
+        return page_id
+
+
+@register("page_policy", "closed")
+class ClosedPagePolicy:
+    """Auto-precharge: the bank closes its page after every access.
+
+    Every access pays the activate cost (``page_empty_cycles``) but no
+    access ever pays a conflict precharge — trading away row-buffer
+    locality for immunity to inter-core open-page interference.  Not
+    the paper's configuration; a registered alternative for design
+    studies.
+    """
+
+    def __init__(self, config: "DramConfig") -> None:
+        self._empty = config.page_empty_cycles
+
+    def classify(self, open_page: int | None, page_id: int) -> tuple[str, int]:
+        return PAGE_EMPTY, self._empty
+
+    def page_after(self, page_id: int) -> int | None:
+        return None

@@ -1,0 +1,132 @@
+"""Typed interfaces for the swappable simulator components.
+
+These are :class:`typing.Protocol` classes — structural, not nominal:
+an implementation only has to *look* right, never to inherit.  The
+registry (:mod:`repro.components.registry`) maps string names from the
+configuration onto factories producing these shapes; the consuming
+modules (``sim.cache``, ``sim.memory``, ``sim.engine``,
+``accounting.accountant``) are written against the protocol alone.
+
+The factory convention: every registered object is a callable taking
+the relevant config section and returning the component instance —
+``ReplacementPolicy`` factories take a
+:class:`~repro.config.CacheConfig`, ``PagePolicy`` factories a
+:class:`~repro.config.DramConfig`, ``SpinDetector`` factories an
+:class:`~repro.config.AccountingConfig`, and ``Scheduler`` factories a
+:class:`~repro.config.SchedConfig`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.sim.engine import _CoreRuntime
+
+
+@runtime_checkable
+class ReplacementPolicy(Protocol):
+    """Victim selection for one set-associative cache instance.
+
+    ``promote_on_hit`` is read once at cache construction and inlined
+    into the lookup hot path, so a policy cannot change it per access.
+    ``select_victim`` is only called on a *full* set and must return a
+    line address that is currently in ``cache_set``.
+    """
+
+    #: whether a hit moves the line to the protected (MRU) end
+    promote_on_hit: bool
+
+    def select_victim(self, cache_set: OrderedDict[int, bool]) -> int:
+        """Pick the victim line address from a full set (ordered from
+        eviction candidate at the front to most recently inserted/used
+        at the back)."""
+        ...
+
+    def reset(self) -> None:
+        """Return to the post-construction state (re-seed any RNG); the
+        owning cache calls this from :meth:`SetAssocCache.reset` so
+        pooled runs stay bit-identical to fresh ones."""
+        ...
+
+
+@runtime_checkable
+class SpinDetector(Protocol):
+    """Per-core hardware spin detection (Section 4.3 of the paper).
+
+    A detector receives *both* event streams — retired loads (Tian
+    et al.) and spin-loop backward branches (Li et al.) — and is free
+    to ignore the one it does not use.  ``spin_cycles`` accumulates the
+    detected spin time; ``flush`` models the context-switch clear of
+    the physical per-core table.
+    """
+
+    #: cumulative detected spin cycles on this core
+    spin_cycles: int
+
+    def on_load(
+        self,
+        pc: int,
+        addr: int,
+        value: int,
+        writer_core: int,
+        now: int,
+        self_core: int,
+    ) -> None:
+        """Observe one retired load (value is the coherence version of
+        the word; ``writer_core`` is its last writer, -1 if unknown)."""
+        ...
+
+    def on_backward_branch(self, pc: int, state_signature: int, now: int) -> None:
+        """Observe one spin-loop backward branch with the loop body's
+        observable-state signature."""
+        ...
+
+    def flush(self) -> None:
+        """Context switch: drop per-core table state."""
+        ...
+
+
+@runtime_checkable
+class PagePolicy(Protocol):
+    """DRAM row-buffer management for one memory controller.
+
+    ``classify`` maps (currently open page, requested page) to the
+    access outcome (one of :data:`~repro.components.paging.PAGE_HIT`,
+    ``PAGE_EMPTY``, ``PAGE_CONFLICT``) and its bank service time;
+    ``page_after`` says which page the bank holds open once the access
+    completes (``None`` = bank precharged/closed).
+    """
+
+    def classify(self, open_page: int | None, page_id: int) -> tuple[str, int]:
+        """Return ``(outcome, bank_service_cycles)`` for an access to
+        ``page_id`` while ``open_page`` is in the row buffer."""
+        ...
+
+    def page_after(self, page_id: int) -> int | None:
+        """The page left open in the bank after servicing ``page_id``."""
+        ...
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """The engine's core-pick policy.
+
+    Called once per engine step to choose which core acts next.  The
+    conservative discrete-event invariant — shared state is only
+    touched at a step's start time, steps execute in global start-time
+    order — holds only for earliest-first selection, so alternative
+    schedulers must preserve it (e.g. deterministic tie-breaks on top
+    of the same earliest-availability rule).
+    """
+
+    def pick(
+        self, cores: Sequence["_CoreRuntime"]
+    ) -> tuple["_CoreRuntime | None", float, float]:
+        """Return ``(core, avail_time, horizon)``: the core to step
+        (``None`` when every core is idle with an empty queue — the
+        deadlock signal), the time at which it can act, and the
+        earliest instant any *other* core could act (the engine's
+        fast-forward horizon)."""
+        ...

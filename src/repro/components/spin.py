@@ -1,0 +1,46 @@
+"""Registered spin-detector factories.
+
+The detector implementations live in :mod:`repro.accounting.spin_tian`
+and :mod:`repro.accounting.spin_li`; this module only binds them to
+registry names and to the factory convention (an
+:class:`~repro.config.AccountingConfig` in, one per-core detector
+instance out).  The accountant builds one detector per core through
+these factories and feeds every detector *both* event streams; each
+implementation ignores the stream it does not use.
+
+The detector classes are imported inside the factories — not at module
+level — because ``repro.accounting`` imports ``repro.config``, which
+validates its defaults against this registry while *it* is still being
+imported.  Keeping :mod:`repro.components` free of config/accounting
+imports breaks that cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.components.registry import register
+
+if TYPE_CHECKING:
+    from repro.accounting.spin_li import LiSpinDetector
+    from repro.accounting.spin_tian import TianSpinDetector
+    from repro.config import AccountingConfig
+
+
+@register("spin_detector", "tian")
+def make_tian(config: "AccountingConfig") -> "TianSpinDetector":
+    """Tian et al. load-value watch table (the paper's default)."""
+    from repro.accounting.spin_tian import TianSpinDetector
+
+    return TianSpinDetector(
+        n_entries=config.spin_table_entries,
+        threshold=config.spin_value_threshold,
+    )
+
+
+@register("spin_detector", "li")
+def make_li(config: "AccountingConfig") -> "LiSpinDetector":
+    """Li, Lebeck and Sorin backward-branch detection (alternative)."""
+    from repro.accounting.spin_li import LiSpinDetector
+
+    return LiSpinDetector()

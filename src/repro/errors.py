@@ -47,8 +47,25 @@ class LivelockError(SimulationError):
     forever on a lock whose holder will never release it)."""
 
 
-class ConfigError(ReproError):
-    """Invalid machine or workload configuration."""
+class ConfigError(ReproError, ValueError):
+    """Invalid machine or workload configuration.
+
+    Also a :class:`ValueError` so callers validating config values with
+    the stdlib idiom keep working.  ``field`` (when set) names the
+    offending config field or component kind; ``choices`` lists the
+    registered/valid values so tooling can suggest the right spelling.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: str | None = None,
+        choices: tuple[str, ...] = (),
+    ) -> None:
+        self.field = field
+        self.choices = tuple(choices)
+        super().__init__(message)
 
 
 class TraceParseError(ConfigError):

@@ -30,7 +30,12 @@ from dataclasses import dataclass, field
 
 from repro.accounting.accountant import CycleAccountant
 from repro.accounting.report import AccountingReport
-from repro.config import MachineConfig
+from repro.config import (
+    ON_ERROR_MODES,
+    ExperimentConfig,
+    MachineConfig,
+    RunConfig,
+)
 from repro.core.stack import SpeedupStack, build_stack
 from repro.errors import ExperimentError, ReproError
 from repro.observability.events import (
@@ -201,8 +206,8 @@ def run_experiment(
 # hardened batch runner
 # ----------------------------------------------------------------------
 
-#: valid ``--on-error`` policies
-ON_ERROR_MODES = ("abort", "skip", "retry")
+# ON_ERROR_MODES now lives in repro.config (RunConfig validates against
+# it) and is re-exported above for existing importers.
 
 CELL_OK = "ok"
 CELL_FAILED = "failed"
@@ -241,6 +246,20 @@ class RunPolicy:
             )
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+
+    @classmethod
+    def from_run(cls, run: RunConfig) -> "RunPolicy":
+        """Project the serializable :class:`~repro.config.RunConfig`
+        onto the runner's internal policy (drops ``jobs``, which the
+        execution layer consumes)."""
+        return cls(
+            on_error=run.on_error,
+            max_retries=run.max_retries,
+            backoff_s=run.backoff_s,
+            backoff_factor=run.backoff_factor,
+            max_cycles=run.max_cycles,
+            livelock_window=run.livelock_window,
+        )
 
 
 @dataclass
@@ -347,16 +366,29 @@ class BatchRunner:
     def __init__(
         self,
         policy: RunPolicy | None = None,
-        scale: float = 1.0,
+        scale: float | None = None,
         journal: SweepJournal | None = None,
         fault_plan: dict[str, CellFault | str] | None = None,
         machine_factory=None,
         sleep=time.sleep,
         bus=None,
         metrics=None,
+        experiment: ExperimentConfig | None = None,
     ) -> None:
+        """``experiment`` supplies defaults for everything it covers —
+        the policy (from ``experiment.run``), the scale (from
+        ``experiment.workload``) and the machine factory (from
+        ``experiment.machine``, re-cored per cell); an explicit
+        ``policy``/``scale``/``machine_factory`` argument still wins.
+        """
+        if experiment is not None:
+            policy = policy or RunPolicy.from_run(experiment.run)
+            if scale is None:
+                scale = experiment.workload.scale
+            machine_factory = machine_factory or experiment.machine.with_cores
+        self.experiment = experiment
         self.policy = policy or RunPolicy()
-        self.scale = scale
+        self.scale = 1.0 if scale is None else scale
         self.journal = journal or SweepJournal(None)
         self.fault_plan = fault_plan or {}
         #: optional observability EventBus for sweep/cell lifecycle

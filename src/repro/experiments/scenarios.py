@@ -23,7 +23,7 @@ import logging
 import os
 from dataclasses import dataclass, field
 
-from repro.config import MB, MachineConfig
+from repro.config import MB, ExperimentConfig, MachineConfig
 from repro.core.analysis import (
     LlcInterference,
     LlcSizeSweepPoint,
@@ -51,15 +51,27 @@ def default_scale() -> float:
 
 @dataclass
 class ExperimentCache:
-    """Memoizes experiment runs within one process."""
+    """Memoizes experiment runs within one process.
+
+    ``machine`` (when set) is the base machine every run derives from by
+    re-coring — the way an :class:`~repro.config.ExperimentConfig`'s
+    machine reaches the figure drivers.  ``None`` keeps the historical
+    default of a fresh paper-default machine per thread count.
+    """
 
     scale: float = 1.0
+    machine: MachineConfig | None = None
     _results: dict[tuple, ExperimentResult] = field(default_factory=dict)
     _references: dict[tuple, object] = field(default_factory=dict)
 
+    @classmethod
+    def from_experiment(cls, experiment: ExperimentConfig) -> "ExperimentCache":
+        """Cache whose runs use the experiment's machine and scale."""
+        return cls(scale=experiment.workload.scale, machine=experiment.machine)
+
     def _reference(self, spec: BenchmarkSpec, machine: MachineConfig):
-        """Single-threaded reference run (cached per spec + LLC size)."""
-        key = (spec.full_name, machine.llc.size_bytes, self.scale)
+        """Single-threaded reference run (cached per spec + machine)."""
+        key = (spec.full_name, machine.with_cores(1), self.scale)
         if key not in self._references:
             logger.debug("reference run: %s (scale %.3g)",
                          spec.full_name, self.scale)
@@ -82,9 +94,12 @@ class ExperimentCache:
     ) -> ExperimentResult:
         """Accounted N-thread run + reference, cached."""
         if machine is None:
-            machine = MachineConfig(n_cores=n_threads)
-        key = (spec.full_name, n_threads, machine.n_cores,
-               machine.llc.size_bytes, self.scale)
+            machine = (
+                self.machine.with_cores(n_threads)
+                if self.machine is not None
+                else MachineConfig(n_cores=n_threads)
+            )
+        key = (spec.full_name, n_threads, machine, self.scale)
         if key not in self._results:
             logger.info("accounted run: %s n=%d", spec.full_name, n_threads)
             st_result = self._reference(spec, machine)

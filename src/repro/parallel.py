@@ -33,11 +33,14 @@ objects travel over the pipe.
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor, BrokenExecutor
 from dataclasses import dataclass, replace
+
+from repro.config import MachineConfig, machine_from_dict, machine_to_dict
 
 from repro.accounting.report import AccountingReport
 from repro.core.stack import SpeedupStack
@@ -92,6 +95,11 @@ class CellSpec:
     #: named fault injected into this cell (None = healthy cell)
     fault: str | None = None
     fault_seed: int = 0
+    #: base machine as canonical JSON of its dict form (None = the
+    #: paper-default machine).  A string rather than a MachineConfig so
+    #: the cell stays hashable, pickles as plain data, and keys the
+    #: worker-side runner cache directly.
+    machine_json: str | None = None
 
     def __post_init__(self) -> None:
         if self.fault is not None and self.fault not in FAULT_KINDS:
@@ -99,6 +107,14 @@ class CellSpec:
                 f"unknown fault kind {self.fault!r}; "
                 f"expected one of {FAULT_KINDS}"
             )
+
+    @property
+    def machine(self) -> MachineConfig | None:
+        return (
+            machine_from_dict(json.loads(self.machine_json))
+            if self.machine_json is not None
+            else None
+        )
 
     @property
     def name(self) -> str:
@@ -168,16 +184,26 @@ class CellResult:
 # worker side
 # ----------------------------------------------------------------------
 
-#: per-process BatchRunner cache, keyed by (policy, scale): keeps the
-#: single-threaded reference memo warm across all cells a worker runs
+#: per-process BatchRunner cache, keyed by (policy, scale, machine):
+#: keeps the single-threaded reference memo warm across all cells a
+#: worker runs
 _WORKER_RUNNERS: dict[tuple, BatchRunner] = {}
 
 
-def _worker_runner(policy: RunPolicy, scale: float) -> BatchRunner:
-    key = (policy, scale)
+def _worker_runner(
+    policy: RunPolicy, scale: float, machine_json: str | None
+) -> BatchRunner:
+    key = (policy, scale, machine_json)
     runner = _WORKER_RUNNERS.get(key)
     if runner is None:
-        runner = BatchRunner(policy=policy, scale=scale)
+        machine_factory = None
+        if machine_json is not None:
+            machine_factory = machine_from_dict(
+                json.loads(machine_json)
+            ).with_cores
+        runner = BatchRunner(
+            policy=policy, scale=scale, machine_factory=machine_factory
+        )
         _WORKER_RUNNERS[key] = runner
     return runner
 
@@ -205,7 +231,7 @@ def run_cell_task(
         os._exit(17)  # simulated hard worker death (test hook)
     if policy.on_error == "abort":
         policy = replace(policy, on_error="skip")
-    runner = _worker_runner(policy, cell.scale)
+    runner = _worker_runner(policy, cell.scale, cell.machine_json)
     if cell.fault is not None:
         runner.fault_plan = {
             cell.key: make_fault(cell.fault, cell.fault_seed)
@@ -493,16 +519,26 @@ def cells_from_sweep(
     sweep: list[tuple[BenchmarkSpec, int]],
     scale: float = 1.0,
     fault_kinds: dict[str, str] | None = None,
+    machine: MachineConfig | None = None,
 ) -> list[CellSpec]:
     """Adapt ``suite.sweep_cells`` output (and the CLI's fault-kind
-    plan) to :class:`CellSpec` values."""
+    plan) to :class:`CellSpec` values.  ``machine`` (when given) is the
+    base machine each worker re-cores per cell; ``None`` keeps the
+    paper-default machine and produces byte-identical cells to older
+    callers."""
     fault_kinds = fault_kinds or {}
+    machine_json = (
+        json.dumps(machine_to_dict(machine), sort_keys=True)
+        if machine is not None
+        else None
+    )
     return [
         CellSpec(
             spec=spec,
             n_threads=n_threads,
             scale=scale,
             fault=fault_kinds.get(f"{spec.full_name}:{n_threads}"),
+            machine_json=machine_json,
         )
         for spec, n_threads in sweep
     ]

@@ -5,16 +5,18 @@ per-core auxiliary tag directories (ATDs) of the accounting hardware —
 the paper's ATD "has as many ways as the shared LLC and keeps track of
 the tags and status bits for each cache line".
 
-Three victim-selection policies: true LRU (default, the paper's
-configuration), FIFO (hits do not promote), and seeded-random
-(deterministic across runs).
+Victim selection is delegated to a :class:`~repro.components.protocols.
+ReplacementPolicy` resolved by name from the component registry
+(built-ins: "lru" — the paper's configuration — "fifo", and
+seeded-random "random"); the cache keeps the hot path and asks the
+policy only for the promote-on-hit rule and the victim choice.
 """
 
 from __future__ import annotations
 
-import random
 from collections import OrderedDict, defaultdict
 
+from repro.components.registry import resolve
 from repro.config import CacheConfig
 from repro.sim.address import CacheGeometry
 
@@ -36,8 +38,8 @@ class SetAssocCache:
     """
 
     __slots__ = ("geometry", "assoc", "generation", "_sets", "n_hits",
-                 "n_misses", "n_evictions", "_promote_on_hit", "_rng",
-                 "_set_mask", "_replacement_seed", "_sparse")
+                 "n_misses", "n_evictions", "_promote_on_hit", "_policy",
+                 "_set_mask", "_sparse")
 
     def __init__(self, config: CacheConfig, *, sparse: bool = False) -> None:
         self.geometry = CacheGeometry.from_config(config)
@@ -55,17 +57,9 @@ class SetAssocCache:
         self.n_evictions = 0
         #: bumped by :meth:`reset`; lets pooled users detect staleness
         self.generation = 0
-        self._promote_on_hit = config.replacement == "lru"
-        self._replacement_seed = (
-            config.size_bytes ^ config.assoc
-            if config.replacement == "random"
-            else None
-        )
-        self._rng = (
-            random.Random(self._replacement_seed)
-            if self._replacement_seed is not None
-            else None
-        )
+        self._policy = resolve("replacement", config.replacement)(config)
+        # Read once and inlined into the lookup hot path.
+        self._promote_on_hit = self._policy.promote_on_hit
 
     def set_index_of(self, line_addr: int) -> int:
         return line_addr & self._set_mask
@@ -99,11 +93,8 @@ class SetAssocCache:
             return None
         victim = None
         if len(cache_set) >= self.assoc:
-            if self._rng is not None:
-                victim_line = self._rng.choice(list(cache_set))
-                victim = (victim_line, cache_set.pop(victim_line))
-            else:
-                victim = cache_set.popitem(last=False)
+            victim_line = self._policy.select_victim(cache_set)
+            victim = (victim_line, cache_set.pop(victim_line))
             self.n_evictions += 1
         cache_set[line_addr] = dirty
         return victim
@@ -129,11 +120,8 @@ class SetAssocCache:
             return None
         victim = None
         if len(cache_set) >= self.assoc:
-            if self._rng is not None:
-                victim_line = self._rng.choice(list(cache_set))
-                victim = (victim_line, cache_set.pop(victim_line))
-            else:
-                victim = cache_set.popitem(last=False)
+            victim_line = self._policy.select_victim(cache_set)
+            victim = (victim_line, cache_set.pop(victim_line))
             self.n_evictions += 1
         cache_set[line_addr] = False
         return victim
@@ -167,8 +155,7 @@ class SetAssocCache:
         self.n_hits = 0
         self.n_misses = 0
         self.n_evictions = 0
-        if self._replacement_seed is not None:
-            self._rng = random.Random(self._replacement_seed)
+        self._policy.reset()
         self.generation += 1
 
     def occupancy(self) -> int:

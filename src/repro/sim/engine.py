@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.accounting.interface import NULL_ACCOUNTANT
+from repro.components.registry import resolve
 from repro.config import MachineConfig
 from repro.errors import DeadlockError, LivelockError, SimulationError
 from repro.observability.events import (
@@ -171,6 +172,7 @@ class Simulation:
             core.queue.append(thread)
         self._n_finished = 0
         self._ff_limit = _INFINITY
+        self._scheduler = resolve("scheduler", machine.sched.policy)(machine.sched)
         self._dispatch_cost = (
             machine.sched.context_switch_cycles
             + machine.sched.overhead_per_core_cycles * machine.n_cores
@@ -340,23 +342,7 @@ class Simulation:
             live = still_live
 
     def _pick_core(self) -> _CoreRuntime | None:
-        best: _CoreRuntime | None = None
-        best_time = _INFINITY
-        second_time = _INFINITY
-        for core in self.cores:
-            if core.current is not None:
-                avail = core.now
-            elif core.queue:
-                earliest = min(t.ready_time for t in core.queue)
-                avail = earliest if earliest > core.now else core.now
-            else:
-                continue
-            if avail < best_time:
-                second_time = best_time
-                best_time = avail
-                best = core
-            elif avail < second_time:
-                second_time = avail
+        best, best_time, second_time = self._scheduler.pick(self.cores)
         # The earliest instant any *other* core could act — the horizon
         # the fast-forward block may run to without a global reschedule.
         self._ff_limit = second_time

@@ -25,12 +25,18 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.components.paging import PAGE_CONFLICT, PAGE_EMPTY, PAGE_HIT
+from repro.components.registry import resolve
 from repro.config import DramConfig
 from repro.sim.address import DramGeometry
 
-PAGE_HIT = "hit"
-PAGE_EMPTY = "empty"
-PAGE_CONFLICT = "conflict"
+__all__ = [
+    "PAGE_CONFLICT",
+    "PAGE_EMPTY",
+    "PAGE_HIT",
+    "DramAccessResult",
+    "MainMemory",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +113,7 @@ class MainMemory:
     def __init__(self, config: DramConfig) -> None:
         self.config = config
         self.geometry = DramGeometry.from_config(config)
+        self.page_policy = resolve("page_policy", config.page_policy)(config)
         self.bus = _SharedResource()
         self.banks = [_Bank() for _ in range(config.n_banks)]
         self.n_accesses = 0
@@ -123,24 +130,18 @@ class MainMemory:
 
         prev_open_page = bank.open_page
         prev_opener = bank.opener_core
-        if prev_open_page is None:
-            outcome = PAGE_EMPTY
-            service = self.config.page_empty_cycles
-        elif prev_open_page == page_id:
-            outcome = PAGE_HIT
-            service = self.config.page_hit_cycles
+        outcome, service = self.page_policy.classify(prev_open_page, page_id)
+        if outcome == PAGE_HIT:
             self.n_page_hits += 1
-        else:
-            outcome = PAGE_CONFLICT
-            service = self.config.page_conflict_cycles
+        elif outcome == PAGE_CONFLICT:
             self.n_page_conflicts += 1
 
         bank_start, bank_wait_other = bank.resource.reserve(
             t_request, service, core_id
         )
         bank_done = bank_start + service
-        bank.open_page = page_id
-        bank.opener_core = core_id
+        bank.open_page = self.page_policy.page_after(page_id)
+        bank.opener_core = core_id if bank.open_page is not None else None
 
         bus_start, bus_wait_other = self.bus.reserve(
             bank_done, self.config.bus_cycles, core_id
@@ -168,13 +169,8 @@ class MainMemory:
         self.n_writebacks += 1
         bank = self.banks[self.geometry.bank_index(addr)]
         page_id = self.geometry.page_id(addr)
-        if bank.open_page == page_id:
-            service = self.config.page_hit_cycles
-        elif bank.open_page is None:
-            service = self.config.page_empty_cycles
-        else:
-            service = self.config.page_conflict_cycles
+        _outcome, service = self.page_policy.classify(bank.open_page, page_id)
         bank_start, _ = bank.resource.reserve(t_request, service, core_id)
-        bank.open_page = page_id
-        bank.opener_core = core_id
+        bank.open_page = self.page_policy.page_after(page_id)
+        bank.opener_core = core_id if bank.open_page is not None else None
         self.bus.reserve(bank_start + service, self.config.bus_cycles, core_id)

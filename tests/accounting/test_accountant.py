@@ -99,9 +99,9 @@ class TestSpinAndYield:
 
     def test_context_switch_flushes_detectors(self, accountant):
         accountant.on_retired_load(0, 0x1010, 0x7000, 5, -1, 100)
-        assert accountant.tian[0].occupancy == 1
+        assert accountant.spin_detectors[0].occupancy == 1
         accountant.on_context_switch(0)
-        assert accountant.tian[0].occupancy == 0
+        assert accountant.spin_detectors[0].occupancy == 0
 
     def test_li_detector_selected_by_config(self, machine4):
         from dataclasses import replace
@@ -114,9 +114,9 @@ class TestSpinAndYield:
         accountant.on_backward_branch(0, 0x1018, 5, 100)
         accountant.on_backward_branch(0, 0x1018, 5, 140)
         assert accountant.spin_cycles_of(0) == 40
-        # tian hook inert in li mode
+        # load hook inert in li mode (the branch table is untouched)
         accountant.on_retired_load(0, 0x1010, 0x7000, 5, -1, 100)
-        assert accountant.tian[0].occupancy == 0
+        assert accountant.spin_detectors[0].occupancy == 1
 
 
 class TestCoherencyExtension:

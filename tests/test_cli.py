@@ -221,3 +221,101 @@ class TestLogging:
         assert logging.getLogger().level == logging.INFO
         main(["list"])
         assert logging.getLogger().level == logging.WARNING
+
+
+class TestConfigCommands:
+    @staticmethod
+    def write_config(tmp_path, **overrides):
+        """A tiny, fast experiment config as a TOML file."""
+        lines = [
+            "[machine]",
+            "n_cores = 4",
+            "",
+            "[workload]",
+            'benchmarks = ["blackscholes_small"]',
+            "thread_counts = [2]",
+            "scale = 0.05",
+            "",
+            "[run]",
+            'on_error = "abort"',
+        ]
+        for key, value in overrides.items():
+            lines.append(f"{key} = {value}")
+        path = tmp_path / "exp.toml"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def test_show_defaults_as_toml(self, capsys):
+        import tomllib
+
+        assert main(["config", "show"]) == 0
+        doc = tomllib.loads(capsys.readouterr().out)
+        assert doc["machine"]["n_cores"] == 16
+        assert doc["machine"]["llc"]["replacement"] == "lru"
+        assert doc["run"]["on_error"] == "skip"
+
+    def test_show_json(self, capsys):
+        assert main(["config", "show", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["machine"]["accounting"]["spin_detector"] == "tian"
+
+    def test_show_resolves_file(self, capsys, tmp_path):
+        import tomllib
+
+        path = self.write_config(tmp_path)
+        assert main(["config", "show", str(path)]) == 0
+        doc = tomllib.loads(capsys.readouterr().out)
+        assert doc["machine"]["n_cores"] == 4
+        # Defaults are merged in, not just the file echoed back.
+        assert doc["machine"]["llc"]["size_bytes"] == 2 * 1024 * 1024
+
+    def test_validate_good_config(self, capsys, tmp_path):
+        path = self.write_config(tmp_path)
+        assert main(["config", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"{path}: OK" in out
+        assert "machine: 4 cores" in out
+        assert "registered replacement: fifo, lru, random" in out
+        assert "registered spin_detector: li, tian" in out
+
+    def test_validate_bad_component_lists_choices(self, tmp_path):
+        from repro.errors import ConfigError
+
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            "[machine.llc]\nsize_bytes = 2097152\nassoc = 16\n"
+            'replacement = "plru"\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ConfigError) as exc:
+            main(["config", "validate", str(path)])
+        assert exc.value.choices == ("fifo", "lru", "random")
+
+    def test_validate_unknown_benchmark(self, tmp_path):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            '[workload]\nbenchmarks = ["choleski"]\n', encoding="utf-8"
+        )
+        with pytest.raises(KeyError):
+            main(["config", "validate", str(path)])
+
+    def test_stack_with_config(self, capsys, tmp_path):
+        path = self.write_config(tmp_path)
+        assert main(["stack", "blackscholes_small",
+                     "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup stack: blackscholes_small" in out
+
+    def test_sweep_with_config(self, capsys, tmp_path):
+        path = self.write_config(tmp_path)
+        assert main(["sweep", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok      blackscholes_small:2" in out
+
+    def test_flags_override_config(self, capsys, tmp_path):
+        path = self.write_config(tmp_path)
+        assert main(["sweep", "--config", str(path),
+                     "--benchmarks", "cholesky", "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cholesky:2" in out
+        assert "blackscholes_small" not in out
