@@ -23,6 +23,7 @@ Quickstart::
 """
 
 from repro import components
+from repro._version import repro_version
 from repro.accounting.accountant import CycleAccountant
 from repro.accounting.hardware_cost import (
     HardwareCost,
@@ -120,6 +121,17 @@ from repro.experiments.runner import (
     run_experiment,
     run_reference,
 )
+from repro.checkpoint import (
+    CheckpointHook,
+    CheckpointPolicy,
+    CheckpointReport,
+    cell_descriptor,
+    inspect_checkpoint,
+    load_checkpoint,
+    read_header,
+    resume_simulation,
+    save_checkpoint,
+)
 from repro.observability import (
     EventBus,
     MetricsRegistry,
@@ -183,7 +195,7 @@ from repro.workloads.suite import (
     sweep_cells,
 )
 
-__version__ = "1.0.0"
+__version__ = repro_version()
 
 __all__ = [
     "accounted_snapshot",
@@ -201,7 +213,11 @@ __all__ = [
     "by_name",
     "CacheConfig",
     "capture_snapshot",
+    "cell_descriptor",
     "CellOutcome",
+    "CheckpointHook",
+    "CheckpointPolicy",
+    "CheckpointReport",
     "classification_tree",
     "components",
     "ClassificationTree",
@@ -237,6 +253,7 @@ __all__ = [
     "HardwareCost",
     "HardwareCostParams",
     "harvest_cell_metrics",
+    "inspect_checkpoint",
     "interference_breakdown",
     "KB",
     "LivelockError",
@@ -244,6 +261,7 @@ __all__ = [
     "llc_size_sweep",
     "LlcInterference",
     "Load",
+    "load_checkpoint",
     "load_config",
     "load_trace",
     "lock_profiles",
@@ -268,6 +286,7 @@ __all__ = [
     "ProgressReporter",
     "project",
     "Projection",
+    "read_header",
     "Region",
     "region_stacks",
     "RegionObserver",
@@ -283,7 +302,9 @@ __all__ = [
     "render_sync_profile",
     "render_tree",
     "render_validation_table",
+    "repro_version",
     "ReproError",
+    "resume_simulation",
     "run_accounted",
     "run_experiment",
     "run_multiprogram",
@@ -292,6 +313,7 @@ __all__ = [
     "RunConfig",
     "RunInterval",
     "RunPolicy",
+    "save_checkpoint",
     "scaling_class",
     "SchedConfig",
     "SimResult",

@@ -1,0 +1,28 @@
+"""Single source for the package version string.
+
+Lives in its own leaf module (rather than ``repro/__init__``) so the
+low-level layers that stamp the version into durable artifacts — the
+checkpoint header writer (:mod:`repro.checkpoint.format`) and the sweep
+journal (:mod:`repro.robustness.journal`) — can import it without
+pulling in the whole public API (and without creating import cycles).
+
+The version is read from the installed package metadata when available
+(``pip install -e .`` or a built wheel) and falls back to the value
+pinned in ``pyproject.toml`` for plain ``PYTHONPATH=src`` checkouts.
+"""
+
+from __future__ import annotations
+
+#: fallback for source checkouts that are not pip-installed; keep in
+#: sync with ``[project] version`` in pyproject.toml
+_FALLBACK_VERSION = "1.0.0"
+
+
+def repro_version() -> str:
+    """The package version (metadata if installed, pyproject pin otherwise)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return _FALLBACK_VERSION

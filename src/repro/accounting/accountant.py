@@ -29,8 +29,21 @@ from repro.accounting.report import (
 )
 from repro.components.registry import resolve
 from repro.config import MachineConfig
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, SimulationError
 from repro.sim.memory import DramAccessResult
+
+
+def _component_state(component, kind: str) -> dict:
+    """``state_dict()`` of a registry-resolved component, or a clear
+    error when a third-party component is not checkpointable."""
+    state_fn = getattr(component, "state_dict", None)
+    if state_fn is None:
+        raise CheckpointError(
+            f"{kind} component {type(component).__name__!r} does not "
+            "implement state_dict()/load_state_dict() and cannot be "
+            "checkpointed"
+        )
+    return state_fn()
 
 
 class CycleAccountant:
@@ -177,11 +190,82 @@ class CycleAccountant:
         )
 
     # ------------------------------------------------------------------
+    # checkpointing (Snapshotable)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All accounting hardware state: ATD tag arrays, ORA rows, spin
+        watch tables, and every cumulative counter."""
+        state = {
+            "atds": [atd.state_dict() for atd in self.atds],
+            "oras": [ora.state_dict() for ora in self.oras],
+            "spin_detectors": [
+                _component_state(detector, "spin_detector")
+                for detector in self.spin_detectors
+            ],
+            "llc_accesses": list(self.llc_accesses),
+            "llc_load_misses": list(self.llc_load_misses),
+            "llc_load_miss_blocked_stall": list(
+                self.llc_load_miss_blocked_stall
+            ),
+            "neg_llc_sampled_stall": list(self.neg_llc_sampled_stall),
+            "neg_mem_stall": list(self.neg_mem_stall),
+            "spin_truncated": list(self.spin_truncated),
+            "coherency_stall": list(self.coherency_stall),
+            "yield_cycles": [
+                [tid, cycles] for tid, cycles in self.yield_cycles.items()
+            ],
+        }
+        if self.oracle_atds is not None:
+            state["oracle_atds"] = [
+                atd.state_dict() for atd in self.oracle_atds
+            ]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        for atd, atd_state in zip(self.atds, state["atds"]):
+            atd.load_state_dict(atd_state)
+        for ora, ora_state in zip(self.oras, state["oras"]):
+            ora.load_state_dict(ora_state)
+        for detector, detector_state in zip(
+            self.spin_detectors, state["spin_detectors"]
+        ):
+            load_fn = getattr(detector, "load_state_dict", None)
+            if load_fn is None:
+                raise CheckpointError(
+                    f"spin_detector component {type(detector).__name__!r} "
+                    "does not implement load_state_dict()"
+                )
+            load_fn(detector_state)
+        if self.oracle_atds is not None and "oracle_atds" in state:
+            for atd, atd_state in zip(self.oracle_atds, state["oracle_atds"]):
+                atd.load_state_dict(atd_state)
+        self.llc_accesses = list(state["llc_accesses"])
+        self.llc_load_misses = list(state["llc_load_misses"])
+        self.llc_load_miss_blocked_stall = list(
+            state["llc_load_miss_blocked_stall"]
+        )
+        self.neg_llc_sampled_stall = list(state["neg_llc_sampled_stall"])
+        self.neg_mem_stall = list(state["neg_mem_stall"])
+        self.spin_truncated = list(state["spin_truncated"])
+        self.coherency_stall = list(state["coherency_stall"])
+        self.yield_cycles = {
+            tid: cycles for tid, cycles in state["yield_cycles"]
+        }
+
+    # ------------------------------------------------------------------
     # snapshots (region-based stacks, Section 4.6)
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Copy of all cumulative counters, for region differencing."""
+        """Copy of all cumulative region counters.
+
+        .. deprecated::
+            This is the region-differencing *view* retained for the
+            region-based stacks (Section 4.6); full state
+            externalization lives in :meth:`state_dict`, which this is
+            now a thin projection of.
+        """
         return {
             "llc_accesses": list(self.llc_accesses),
             "llc_load_misses": list(self.llc_load_misses),

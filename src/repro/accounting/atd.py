@@ -94,3 +94,20 @@ class AuxiliaryTagDirectory:
     def tag_store(self) -> SetAssocCache:
         """The underlying tag array (exposed for tests)."""
         return self._tags
+
+    def state_dict(self) -> dict:
+        """Sparse tag array (non-empty sampled sets only) plus counters."""
+        return {
+            "tags": self._tags.state_dict(),
+            "n_sampled_accesses": self.n_sampled_accesses,
+            "n_inter_thread_misses": self.n_inter_thread_misses,
+            "n_inter_thread_hits": self.n_inter_thread_hits,
+            "n_sampled_load_inter_hits": self.n_sampled_load_inter_hits,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._tags.load_state_dict(state["tags"])
+        self.n_sampled_accesses = state["n_sampled_accesses"]
+        self.n_inter_thread_misses = state["n_inter_thread_misses"]
+        self.n_inter_thread_hits = state["n_inter_thread_hits"]
+        self.n_sampled_load_inter_hits = state["n_sampled_load_inter_hits"]

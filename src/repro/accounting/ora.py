@@ -40,3 +40,13 @@ class OpenRowArray:
 
     def row_for_bank(self, bank: int) -> int | None:
         return self._rows[bank]
+
+    def state_dict(self) -> dict:
+        return {
+            "rows": list(self._rows),
+            "n_conflicts_from_others": self.n_conflicts_from_others,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rows = list(state["rows"])
+        self.n_conflicts_from_others = state["n_conflicts_from_others"]

@@ -79,3 +79,23 @@ class LiSpinDetector:
     @property
     def occupancy(self) -> int:
         return len(self._table)
+
+    def state_dict(self) -> dict:
+        """Watch-table rows in insertion order (drives LRU eviction)."""
+        return {
+            "table": [
+                [pc, entry.signature, entry.first_seen, entry.credited_until]
+                for pc, entry in self._table.items()
+            ],
+            "spin_cycles": self.spin_cycles,
+            "n_detections": self.n_detections,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._table.clear()
+        for pc, signature, first_seen, credited_until in state["table"]:
+            entry = _BranchEntry(signature, first_seen)
+            entry.credited_until = credited_until
+            self._table[pc] = entry
+        self.spin_cycles = state["spin_cycles"]
+        self.n_detections = state["n_detections"]

@@ -91,3 +91,26 @@ class TianSpinDetector:
     @property
     def occupancy(self) -> int:
         return len(self._table)
+
+    def state_dict(self) -> dict:
+        """Watch-table rows in insertion order (the order drives the
+        ``popitem(last=False)`` eviction, so it must survive the trip)."""
+        return {
+            "table": [
+                [pc, entry.addr, entry.value, entry.count,
+                 entry.marked, entry.timestamp]
+                for pc, entry in self._table.items()
+            ],
+            "spin_cycles": self.spin_cycles,
+            "n_episodes": self.n_episodes,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._table.clear()
+        for pc, addr, value, count, marked, timestamp in state["table"]:
+            entry = _Entry(addr, value, timestamp)
+            entry.count = count
+            entry.marked = marked
+            self._table[pc] = entry
+        self.spin_cycles = state["spin_cycles"]
+        self.n_episodes = state["n_episodes"]

@@ -1,0 +1,90 @@
+"""Mid-run stack inspection: render a partial speedup stack from a
+checkpoint file, without resuming the run.
+
+The accounting counters inside a checkpoint are exact at the moment of
+the save, so the paper's post-processing (Section 4.7) applies to them
+unchanged — the only difference from an end-of-run stack is that
+unfinished threads are treated as ending at the checkpoint cycle
+(exactly how the engine watchdog closes out a truncated run).  The
+result is the speedup stack *so far*: useful for peeking at a
+long-running sweep cell, or post-mortem on a watchdog/fault checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.accounting.accountant import CycleAccountant
+from repro.checkpoint.format import load_checkpoint
+from repro.config import machine_from_dict
+from repro.core.rendering import render_stack
+from repro.core.stack import SpeedupStack, build_stack
+from repro.osmodel.thread import FINISHED
+from repro.robustness.snapshot import EngineSnapshot, snapshot_from_state
+
+
+@dataclass
+class _PartialResult:
+    """The slice of :class:`~repro.sim.engine.SimResult` the accounting
+    post-processing reads, derived from a checkpointed state tree."""
+
+    n_threads: int
+    total_cycles: int
+    imbalance_cycles: list[int]
+    truncated: bool = True
+
+
+@dataclass
+class CheckpointReport:
+    """Everything ``repro inspect`` shows for one checkpoint."""
+
+    header: dict
+    snapshot: EngineSnapshot
+    #: partial stack; None when the run carried no accounting hardware
+    stack: SpeedupStack | None
+
+    def render(self) -> str:
+        header = self.header
+        descriptor = header["descriptor"]
+        lines = [
+            f"checkpoint: {descriptor['benchmark']} "
+            f"n={descriptor['n_threads']} scale={descriptor['scale']}",
+            f"  saved at cycle {header['cycle']} ({header['reason']}) "
+            f"by repro {header['repro_version']} "
+            f"[schema {header['schema_version']}, "
+            f"config {header['config_hash']}]",
+            f"  engine: {self.snapshot.summary()}",
+        ]
+        if self.stack is None:
+            lines.append("  (no accounting state — no stack to render)")
+        else:
+            lines.append("")
+            lines.append(render_stack(self.stack))
+        return "\n".join(lines)
+
+
+def inspect_checkpoint(path: str | Path) -> CheckpointReport:
+    """Load a checkpoint and derive its partial speedup stack."""
+    header, state = load_checkpoint(path)
+    descriptor = header["descriptor"]
+    snapshot = snapshot_from_state(state)
+    stack = None
+    if "accountant" in state:
+        machine = machine_from_dict(descriptor["machine"])
+        accountant = CycleAccountant(machine)
+        accountant.load_state_dict(state["accountant"])
+        now = max((core["now"] for core in state["cores"]), default=0)
+        end_times = [
+            t["end_time"] if t["state"] == FINISHED else now
+            for t in state["threads"]
+        ]
+        total = max(end_times, default=now)
+        partial = _PartialResult(
+            n_threads=len(state["threads"]),
+            total_cycles=total,
+            imbalance_cycles=[total - end for end in end_times],
+            truncated=any(t["state"] != FINISHED for t in state["threads"]),
+        )
+        stack = build_stack(descriptor["benchmark"], accountant.report(partial))
+    return CheckpointReport(header=header, snapshot=snapshot, stack=stack)

@@ -15,10 +15,12 @@ Commands:
 * ``trace``     — Chrome/Perfetto trace of one cell (observability bus)
 * ``sweep``     — hardened suite sweep (journal, retries, fault injection)
 * ``bench``     — time the sweep serial vs ``--jobs N`` (BENCH_sweep.json)
+* ``inspect``   — partial speedup stack of an engine checkpoint file
 
 Global flags: ``-v``/``-vv`` raise the stdlib-logging verbosity to
 INFO/DEBUG, ``--log-json`` switches stderr logging to one JSON object
-per record (they go before the subcommand, e.g. ``repro -v sweep ...``).
+per record (they go before the subcommand, e.g. ``repro -v sweep ...``),
+``--version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -30,7 +32,16 @@ import logging
 import os
 import sys
 
+from repro._version import repro_version
 from repro.accounting.hardware_cost import estimate_cost
+from repro.checkpoint import (
+    CheckpointHook,
+    CheckpointPolicy,
+    cell_descriptor,
+    inspect_checkpoint,
+    read_header,
+    resume_simulation,
+)
 from repro.components import available, kinds
 from repro.config import (
     MB,
@@ -41,6 +52,7 @@ from repro.config import (
 )
 from repro.core.cpi import cpi_stacks, render_cpi_stacks
 from repro.core.regions import run_region_experiment
+from repro.core.stack import build_stack
 from repro.core.rendering import (
     render_speedup_curve,
     render_stack,
@@ -48,13 +60,14 @@ from repro.core.rendering import (
     render_tree,
 )
 from repro.core.whatif import advice
-from repro.errors import ConfigError, TraceParseError
+from repro.errors import CheckpointError, ConfigError, TraceParseError
 from repro.experiments.bench import render_bench, run_bench, write_bench
 from repro.experiments.runner import (
     BatchRunner,
     ON_ERROR_MODES,
     RunPolicy,
     run_experiment,
+    run_reference,
 )
 from repro.experiments.scenarios import (
     ExperimentCache,
@@ -117,6 +130,14 @@ def cmd_list(args) -> int:
 def cmd_stack(args) -> int:
     spec = by_name(args.benchmark)
     experiment = _load_experiment(args)
+    if args.checkpoint_every is not None and not (
+        args.checkpoint or args.resume_from
+    ):
+        print("error: --checkpoint-every needs --checkpoint (or "
+              "--resume-from, which re-saves in place)", file=sys.stderr)
+        return 2
+    if args.resume_from:
+        return _stack_resume(args, spec, experiment)
     n_threads = (
         args.threads if args.threads is not None
         else experiment.workload.thread_counts[0]
@@ -128,6 +149,16 @@ def cmd_stack(args) -> int:
     if getattr(args, "llc_mb", None):
         machine = machine.with_llc_size(int(args.llc_mb * MB))
     run = experiment.run
+    hook = None
+    if args.checkpoint:
+        descriptor = cell_descriptor(
+            machine, spec.full_name, n_threads, scale,
+            max_cycles=run.max_cycles,
+            livelock_window=run.livelock_window,
+        )
+        hook = CheckpointHook(args.checkpoint, descriptor, CheckpointPolicy(
+            every_cycles=args.checkpoint_every, on_fault=True,
+        ))
     result = run_experiment(
         spec.full_name, machine,
         build_program(spec, n_threads, scale=scale),
@@ -139,10 +170,90 @@ def cmd_stack(args) -> int:
             if run.max_cycles is not None or run.livelock_window is not None
             else "raise"
         ),
+        checkpoint=hook,
     )
     print(render_stack(result.stack))
     print()
     print(advice(result.stack))
+    if hook is not None and hook.n_saves:
+        print()
+        print(f"checkpoint: {hook.n_saves} save(s), last at cycle "
+              f"{hook.last_header['cycle']} -> {hook.path}")
+    return 0
+
+
+def _stack_resume(args, spec, experiment) -> int:
+    """``repro stack --resume-from CKPT``: continue a checkpointed run
+    to completion and render the final stack."""
+    try:
+        header = read_header(args.resume_from)
+        descriptor = header["descriptor"]
+        if descriptor["benchmark"] != spec.full_name:
+            print(f"error: checkpoint {args.resume_from} belongs to "
+                  f"{descriptor['benchmark']}, not {spec.full_name}",
+                  file=sys.stderr)
+            return 2
+        sim, header = resume_simulation(args.resume_from, spec=spec)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not sim.accountant.enabled:
+        print("error: checkpoint carries no accounting state; cannot "
+              "build a speedup stack from it", file=sys.stderr)
+        return 2
+    run = experiment.run
+    # Explicit limits (config file) override the ones the checkpointed
+    # run was saved under — the way to continue a max-cycles-truncated
+    # run under a raised budget.
+    max_cycles = (
+        run.max_cycles if run.max_cycles is not None
+        else descriptor.get("max_cycles")
+    )
+    livelock_window = (
+        run.livelock_window if run.livelock_window is not None
+        else descriptor.get("livelock_window")
+    )
+    hook = None
+    if args.checkpoint or args.checkpoint_every is not None:
+        hook = CheckpointHook(
+            args.checkpoint or args.resume_from, descriptor,
+            CheckpointPolicy(
+                every_cycles=args.checkpoint_every, on_fault=True,
+            ),
+        )
+    print(f"resuming {spec.full_name} n={descriptor['n_threads']} from "
+          f"cycle {header['cycle']} (saved on {header['reason']})")
+    mt_result = sim.run(
+        max_cycles=max_cycles,
+        livelock_window=livelock_window,
+        on_timeout=(
+            "truncate"
+            if max_cycles is not None or livelock_window is not None
+            else "raise"
+        ),
+        checkpoint=hook,
+    )
+    report = sim.accountant.report(mt_result)
+    st_result = run_reference(
+        sim.machine, build_program(spec, 1, scale=descriptor["scale"]),
+        max_cycles=max_cycles,
+        livelock_window=livelock_window,
+        on_timeout="truncate" if max_cycles is not None else "raise",
+    )
+    ts = None if st_result.truncated else st_result.total_cycles
+    stack = build_stack(spec.full_name, report, ts_cycles=ts)
+    print(render_stack(stack))
+    print()
+    print(advice(stack))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    try:
+        print(inspect_checkpoint(args.path).render())
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -344,6 +455,14 @@ def cmd_sweep(args) -> int:
             args.livelock_window if args.livelock_window is not None
             else run.livelock_window
         ),
+        checkpoint_every=(
+            args.checkpoint_every if args.checkpoint_every is not None
+            else run.checkpoint_every
+        ),
+        checkpoint_dir=(
+            args.checkpoint_dir if args.checkpoint_dir is not None
+            else run.checkpoint_dir
+        ),
     )
     fault_plan = _parse_injections(args.inject)
     journal = SweepJournal(args.journal)
@@ -509,6 +628,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json", action="store_true",
         help="emit one JSON object per log record on stderr",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro_version()}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p, benchmark=True, configurable=False):
@@ -536,6 +658,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stack", help="speedup stack for one benchmark")
     common(p, configurable=True)
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="save engine checkpoints to this file")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="CYCLES",
+                   help="periodic save interval in simulated cycles")
+    p.add_argument("--resume-from", metavar="CKPT", default=None,
+                   help="continue a checkpointed run to completion")
     p.set_defaults(func=cmd_stack)
 
     p = sub.add_parser("curve", help="speedup vs thread count")
@@ -635,6 +764,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heartbeat", metavar="PATH", default=None,
                    help="write a machine-readable heartbeat JSON here on "
                         "every sweep event")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="save per-cell engine checkpoints under this "
+                        "directory; crashed or truncated cells resume "
+                        "from them on the next attempt")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="CYCLES",
+                   help="periodic save interval in simulated cycles "
+                        "(needs --checkpoint-dir)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -681,6 +818,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pv.add_argument("path", help="config file to validate")
     pv.set_defaults(func=cmd_config_validate)
+
+    p = sub.add_parser(
+        "inspect",
+        help="partial speedup stack of an engine checkpoint",
+    )
+    p.add_argument("path", help="checkpoint file (.ckpt)")
+    p.set_defaults(func=cmd_inspect)
 
     return parser
 

@@ -19,10 +19,47 @@ the relevant config section and returning the component instance —
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, Sequence, runtime_checkable
 
 if TYPE_CHECKING:
     from repro.sim.engine import _CoreRuntime
+
+
+@runtime_checkable
+class Snapshotable(Protocol):
+    """Anything whose mutable run state externalizes to plain data.
+
+    The ML-framework idiom: ``state_dict()`` returns a JSON-serializable
+    tree (dicts/lists/scalars only — no object references, no tuples
+    that must survive a round trip, no generators) capturing *all*
+    mutable state the object accumulates during a run, and
+    ``load_state_dict`` restores an identically-configured fresh
+    instance to exactly that state.  The contract the checkpoint layer
+    relies on:
+
+    * **round trip** — ``b.load_state_dict(a.state_dict())`` on a fresh
+      ``b`` built from the same configuration makes ``b`` behaviourally
+      indistinguishable from ``a``, and ``b.state_dict()`` re-serializes
+      byte-identically (stable key and element order);
+    * **JSON stability** — the tree survives
+      ``json.loads(json.dumps(state))`` unchanged (so no int dict keys,
+      no sets, no tuples whose tuple-ness matters);
+    * **purity** — ``state_dict()`` never mutates the object.
+
+    Implemented across all six stateful layers (engine, chip/caches,
+    accountant, spin detectors, sync primitives, OS-model threads);
+    stateless components (LRU/FIFO replacement, page policies, the
+    earliest-core scheduler) simply don't implement it and are skipped.
+    """
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serialize all mutable state to a JSON-safe tree."""
+        ...
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` on a fresh,
+        identically-configured instance."""
+        ...
 
 
 @runtime_checkable

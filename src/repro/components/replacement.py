@@ -76,3 +76,18 @@ class RandomPolicy:
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+
+    def state_dict(self) -> dict:
+        # Mersenne Twister state is (version, (int, ...), gauss_next);
+        # flatten the inner tuple for JSON and rebuild it on load.
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "version": version,
+            "internal": list(internal),
+            "gauss_next": gauss_next,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.setstate(
+            (state["version"], tuple(state["internal"]), state["gauss_next"])
+        )

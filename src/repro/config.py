@@ -323,6 +323,13 @@ class RunConfig:
     livelock_window: int | None = None
     #: sweep worker processes (1 = serial, in-process)
     jobs: int = 1
+    #: simulated cycles between periodic engine checkpoints; None = no
+    #: periodic saves (watchdog/fault saves still fire when a
+    #: ``checkpoint_dir`` is set)
+    checkpoint_every: int | None = None
+    #: directory for per-cell checkpoint files; None disables
+    #: checkpointing entirely
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.on_error not in ON_ERROR_MODES:
@@ -336,6 +343,8 @@ class RunConfig:
             raise ValueError("max_retries must be >= 0")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
 
 @dataclass(frozen=True)

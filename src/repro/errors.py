@@ -16,7 +16,10 @@ The taxonomy (documented in ``docs/architecture.md``):
     source name and line number;
 
 * :class:`ExperimentError` — a (benchmark, thread-count) experiment
-  cell failed; wraps the underlying error as ``__cause__``.
+  cell failed; wraps the underlying error as ``__cause__``;
+
+* :class:`CheckpointError` — a checkpoint file cannot be loaded
+  (schema mismatch, config-hash mismatch, or corrupt payload).
 """
 
 from __future__ import annotations
@@ -82,6 +85,17 @@ class TraceParseError(ConfigError):
         self.line_no = line_no
         where = source if line_no is None else f"{source}:{line_no}"
         super().__init__(f"{where}: {message}")
+
+
+class CheckpointError(ReproError):
+    """A checkpoint cannot be loaded or applied.
+
+    Raised when the on-disk schema version is not understood, when the
+    checkpoint's config hash does not match the experiment it is being
+    loaded into, or when the payload is corrupt/inconsistent with the
+    rebuilt program (e.g. a thread body exhausts before the recorded
+    operation cursor is reached).
+    """
 
 
 class ExperimentError(ReproError):

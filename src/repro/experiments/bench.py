@@ -2,7 +2,9 @@
 
 Times the hardened suite sweep end-to-end — serial and at one or more
 ``--jobs`` levels — plus the engine-level fast paths in isolation
-(instruction-block fast-forward on vs. off), and emits a JSON document
+(instruction-block fast-forward on vs. off), the observability layer
+wide open vs disabled, and periodic checkpointing on vs off (with
+explicit save/restore round-trip timings), and emits a JSON document
 (``BENCH_sweep.json``) suitable for checking into the repo or uploading
 as a CI artifact.
 
@@ -16,9 +18,18 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
 
-from repro.experiments.runner import BatchRunner, RunPolicy
+from repro.checkpoint import (
+    CheckpointHook,
+    CheckpointPolicy,
+    cell_descriptor,
+    load_checkpoint,
+    resume_simulation,
+    save_checkpoint,
+)
+from repro.experiments.runner import BatchRunner, RunPolicy, run_accounted
 from repro.observability import MetricsRegistry, TimelineRecorder
 from repro.observability.events import EventBus
 from repro.parallel import cells_from_sweep, run_parallel_sweep
@@ -37,6 +48,14 @@ DEFAULT_MAX_CYCLES = 20_000_000
 #: representative cell for the fast-forward on/off micro-benchmark
 FF_BENCHMARK = "cholesky"
 FF_THREADS = 4
+
+#: the checkpoint overhead benchmark runs its cell at full scale (the
+#: workloads that need checkpointing are the long ones) and saves once
+#: per run — per-save cost is ~constant, so one save against the
+#: longest denominator the harness affords is the stable way to detect
+#: a save-path regression under a percentage gate
+CKPT_SCALE = 1.0
+CKPT_INTERVAL = 50_000
 
 
 def _timed_sweep(cells, scale, policy, jobs, repeats):
@@ -145,6 +164,94 @@ def _bench_observability(scale, max_cycles, repeats):
     }
 
 
+def _bench_checkpoint(max_cycles, repeats):
+    """One accounted cell with periodic checkpointing on vs off.
+
+    The enabled run saves the full SimState tree to disk every
+    :data:`CKPT_INTERVAL` simulated cycles at :data:`CKPT_SCALE`.
+    Disabled/enabled repeats interleave so background load drifts into
+    both sides of the comparison equally.  Simulated cycles must be
+    identical either way (saving never mutates the engine); CI gates on
+    ``overhead_pct`` staying within budget.  ``save_ms``/``load_ms``
+    time one explicit :func:`save_checkpoint` write and one full
+    :func:`resume_simulation` rebuild of the same mid-run state.
+    """
+    spec = by_name(FF_BENCHMARK)
+    machine = MachineConfig(n_cores=FF_THREADS)
+    timings = {False: None, True: None}
+    cycles = {}
+    n_saves = 0
+    save_best = load_best = None
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        path = os.path.join(tmp, "bench.ckpt")
+        descriptor = cell_descriptor(
+            machine, spec.full_name, FF_THREADS, CKPT_SCALE,
+            max_cycles=max_cycles,
+        )
+        for _ in range(repeats):
+            for enabled in (False, True):
+                program = build_program(spec, FF_THREADS, scale=CKPT_SCALE)
+                hook = None
+                if enabled:
+                    hook = CheckpointHook(
+                        path, descriptor,
+                        CheckpointPolicy(every_cycles=CKPT_INTERVAL),
+                    )
+                start = time.perf_counter()
+                mt_result, _report = run_accounted(
+                    machine, program, max_cycles=max_cycles,
+                    on_timeout="truncate", checkpoint=hook,
+                )
+                elapsed = time.perf_counter() - start
+                best = timings[enabled]
+                timings[enabled] = (
+                    elapsed if best is None else min(best, elapsed)
+                )
+                cycles[enabled] = mt_result.total_cycles
+                if hook is not None:
+                    n_saves = hook.n_saves
+        assert cycles[True] == cycles[False], (
+            "checkpointing changed simulated time — saving must not "
+            "perturb the engine"
+        )
+        if os.path.exists(path):  # at least one interval save happened
+            header, state = load_checkpoint(path)
+            for _ in range(repeats):
+                start = time.perf_counter()
+                save_checkpoint(
+                    path, state, descriptor,
+                    cycle=header["cycle"], reason=header["reason"],
+                )
+                elapsed = time.perf_counter() - start
+                save_best = (
+                    elapsed if save_best is None else min(save_best, elapsed)
+                )
+                start = time.perf_counter()
+                resume_simulation(path, spec=spec)
+                elapsed = time.perf_counter() - start
+                load_best = (
+                    elapsed if load_best is None else min(load_best, elapsed)
+                )
+    return {
+        "cell": f"{FF_BENCHMARK}:{FF_THREADS}",
+        "scale": CKPT_SCALE,
+        "every_cycles": CKPT_INTERVAL,
+        "wall_s_disabled": round(timings[False], 4),
+        "wall_s_enabled": round(timings[True], 4),
+        "overhead_pct": round(
+            100.0 * (timings[True] - timings[False]) / timings[False], 2
+        ),
+        "n_saves": n_saves,
+        "save_ms": (
+            None if save_best is None else round(save_best * 1000, 3)
+        ),
+        "load_ms": (
+            None if load_best is None else round(load_best * 1000, 3)
+        ),
+        "total_cycles": cycles[True],
+    }
+
+
 def run_bench(
     benchmarks=None,
     thread_counts=DEFAULT_THREADS,
@@ -184,6 +291,7 @@ def run_bench(
             scale, max_cycles, repeats
         ),
         "observability": _bench_observability(scale, max_cycles, repeats),
+        "checkpoint": _bench_checkpoint(max_cycles, repeats),
     }
 
 
@@ -217,6 +325,22 @@ def render_bench(doc: dict) -> str:
             f"{obs['wall_s_enabled']:.3f}s enabled "
             f"({obs['overhead_pct']:+.1f}%, {obs['events_emitted']} "
             f"events, cycles identical)"
+        )
+    ckpt = doc.get("checkpoint")
+    if ckpt is not None:
+        save_ms = ckpt["save_ms"]
+        load_ms = ckpt["load_ms"]
+        roundtrip = (
+            "no saves triggered" if save_ms is None
+            else f"save {save_ms:.1f}ms / restore {load_ms:.1f}ms"
+        )
+        lines.append(
+            f"checkpoint ({ckpt['cell']}): "
+            f"{ckpt['wall_s_disabled']:.3f}s -> "
+            f"{ckpt['wall_s_enabled']:.3f}s saving every "
+            f"{ckpt['every_cycles']} cycles "
+            f"({ckpt['overhead_pct']:+.1f}%, {ckpt['n_saves']} saves, "
+            f"{roundtrip}, cycles identical)"
         )
     return "\n".join(lines)
 

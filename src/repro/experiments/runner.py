@@ -27,9 +27,17 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.accounting.accountant import CycleAccountant
 from repro.accounting.report import AccountingReport
+from repro.checkpoint import (
+    CheckpointHook,
+    CheckpointPolicy,
+    cell_descriptor,
+    fault_descriptor,
+    resume_simulation,
+)
 from repro.config import (
     ON_ERROR_MODES,
     ExperimentConfig,
@@ -37,7 +45,7 @@ from repro.config import (
     RunConfig,
 )
 from repro.core.stack import SpeedupStack, build_stack
-from repro.errors import ExperimentError, ReproError
+from repro.errors import CheckpointError, ExperimentError, ReproError
 from repro.observability.events import (
     CellFinished,
     CellRetry,
@@ -96,19 +104,22 @@ def run_accounted(
     livelock_window: int | None = None,
     on_timeout: str = "raise",
     bus=None,
+    checkpoint=None,
 ) -> tuple[SimResult, AccountingReport]:
     """One multi-threaded run with the accounting hardware attached.
 
     With ``on_timeout="truncate"`` a watchdog-cut run still yields a
     (flagged) report — the partial-run speedup stack.  ``bus`` attaches
     an observability :class:`~repro.observability.events.EventBus` to
-    both the engine and the accountant.
+    both the engine and the accountant.  ``checkpoint`` arms a
+    :class:`~repro.checkpoint.policy.CheckpointHook` on the engine.
     """
     accountant = CycleAccountant(machine, bus=bus)
     result = Simulation(machine, program, accountant, bus=bus).run(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
+        checkpoint=checkpoint,
     )
     return result, accountant.report(result)
 
@@ -167,11 +178,14 @@ def run_experiment(
     livelock_window: int | None = None,
     on_timeout: str = "raise",
     bus=None,
+    checkpoint=None,
 ) -> ExperimentResult:
     """Full protocol: (optional) reference run, accounted run, stack.
 
     ``bus`` instruments the accounted multi-threaded run only — the
-    reference run is a measurement fixture, not the subject.
+    reference run is a measurement fixture, not the subject.  The same
+    holds for ``checkpoint``: only the accounted run is saved (the
+    reference run is cheap to recompute and fully deterministic).
     """
     st_result = None
     ts = None
@@ -189,6 +203,7 @@ def run_experiment(
         livelock_window=livelock_window,
         on_timeout=on_timeout,
         bus=bus,
+        checkpoint=checkpoint,
     )
     stack = build_stack(name, report, ts_cycles=ts)
     return ExperimentResult(
@@ -230,6 +245,15 @@ class RunPolicy:
     ``max_cycles`` / ``livelock_window`` arm the engine watchdog for
     every run of the sweep; watchdog hits *truncate* (flagged partial
     results) rather than fail.
+
+    ``checkpoint_dir`` arms per-cell engine checkpoints: each cell's
+    multi-threaded run saves its state to
+    ``<dir>/<benchmark>_n<threads>.ckpt`` every ``checkpoint_every``
+    simulated cycles (plus on watchdog fires and engine faults), and a
+    cell that finds a matching checkpoint on disk — same config hash —
+    resumes from it instead of starting over.  Resumed cells produce
+    byte-identical results to uninterrupted ones, so crash recovery
+    never changes a sweep's numbers.
     """
 
     on_error: str = "skip"
@@ -238,6 +262,8 @@ class RunPolicy:
     backoff_factor: float = 2.0
     max_cycles: int | None = None
     livelock_window: int | None = None
+    checkpoint_every: int | None = None
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.on_error not in ON_ERROR_MODES:
@@ -246,6 +272,8 @@ class RunPolicy:
             )
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
     @classmethod
     def from_run(cls, run: RunConfig) -> "RunPolicy":
@@ -259,6 +287,8 @@ class RunPolicy:
             backoff_factor=run.backoff_factor,
             max_cycles=run.max_cycles,
             livelock_window=run.livelock_window,
+            checkpoint_every=run.checkpoint_every,
+            checkpoint_dir=run.checkpoint_dir,
         )
 
 
@@ -416,11 +446,20 @@ class BatchRunner:
         name = spec.full_name
         key = f"{name}:{n_threads}"
         fault = self.fault_plan.get(key)
+        fault_seed = 0
+        if isinstance(fault, tuple):
+            # (kind, seed) — how the parallel layer ships seeded faults
+            fault, fault_seed = fault
         if isinstance(fault, str):
             fault_kind = fault
-            fault = make_fault(fault)
+            #: checkpoint-descriptor identity of the fault (replayable)
+            fault_info = (fault, fault_seed)
+            fault = make_fault(fault, fault_seed)
         else:
             fault_kind = type(fault).__name__ if fault is not None else None
+            # a bare callable cannot be rebuilt on resume: record it as
+            # opaque so its checkpoints refuse cross-process resume
+            fault_info = fault_kind
         if fault is not None and bus is not None:
             bus.emit(FaultArmed(key, fault_kind or "fault"))
         attempts = 0
@@ -449,7 +488,10 @@ class BatchRunner:
             elif bus is not None:
                 bus.emit(CellStarted(key, attempts))
             try:
-                result = self._run_once(spec, n_threads, fault)
+                result = self._run_once(
+                    spec, n_threads, fault,
+                    fault_info=fault_info, attempt=attempts,
+                )
             except ReproError as exc:
                 last_error = exc
                 logger.warning(
@@ -504,21 +546,48 @@ class BatchRunner:
         )
 
     def _run_once(
-        self, spec: BenchmarkSpec, n_threads: int, fault
+        self, spec: BenchmarkSpec, n_threads: int, fault,
+        fault_info=None, attempt: int = 1,
     ) -> ExperimentResult:
         machine = self._machine_factory(n_threads)
+        hook = self._cell_checkpoint(
+            spec, n_threads, machine, fault_info, attempt
+        )
+        # The fresh program is built (and the fault applied) even when a
+        # checkpoint will be resumed: the fault transform yields the
+        # post-fault machine for the ST reference and keeps the
+        # injector's per-application RNG sequence in step for later
+        # attempts; the untouched generators cost nothing.
         mt_program = build_program(spec, n_threads, scale=self.scale)
         if fault is not None:
             mt_program, machine = fault(mt_program, machine)
         st_result = self._st_reference(spec, machine)
         ts = None if st_result.truncated else st_result.total_cycles
-        mt_result, report = run_accounted(
-            machine, mt_program,
-            max_cycles=self.policy.max_cycles,
-            livelock_window=self.policy.livelock_window,
-            on_timeout="truncate",
-            bus=self.bus,
-        )
+        sim = None
+        if hook is not None and hook.path.exists():
+            sim = self._try_resume(hook, spec)
+        if sim is not None:
+            mt_result = sim.run(
+                max_cycles=self.policy.max_cycles,
+                livelock_window=self.policy.livelock_window,
+                on_timeout="truncate",
+                checkpoint=hook,
+            )
+            report = sim.accountant.report(mt_result)
+        else:
+            mt_result, report = run_accounted(
+                machine, mt_program,
+                max_cycles=self.policy.max_cycles,
+                livelock_window=self.policy.livelock_window,
+                on_timeout="truncate",
+                bus=self.bus,
+                checkpoint=hook,
+            )
+        if hook is not None and not mt_result.truncated:
+            # clean completion: the checkpoint has nothing left to
+            # resume (truncated runs keep theirs for inspect/resume
+            # under raised watchdog limits)
+            hook.path.unlink(missing_ok=True)
         stack = build_stack(spec.full_name, report, ts_cycles=ts)
         return ExperimentResult(
             name=spec.full_name,
@@ -529,6 +598,64 @@ class BatchRunner:
             mt_result=mt_result,
             st_result=st_result,
         )
+
+    def _cell_checkpoint(
+        self, spec: BenchmarkSpec, n_threads: int,
+        machine: MachineConfig, fault_info, attempt: int,
+    ) -> CheckpointHook | None:
+        """Arm the cell's checkpoint hook (None when not checkpointing).
+
+        The descriptor carries the *pre-fault* machine plus the fault's
+        replay identity; its hash gates resume, so a checkpoint from a
+        different attempt (the injector RNG advances per application) or
+        a different experiment config is ignored rather than resumed.
+        """
+        policy = self.policy
+        if policy.checkpoint_dir is None:
+            return None
+        if fault_info is None:
+            fault_desc = None
+        elif isinstance(fault_info, tuple):
+            kind, seed = fault_info
+            fault_desc = fault_descriptor(kind, seed, attempt)
+        else:
+            fault_desc = {"opaque": fault_info, "applications": attempt}
+        descriptor = cell_descriptor(
+            machine, spec.full_name, n_threads, self.scale,
+            fault=fault_desc,
+            max_cycles=policy.max_cycles,
+            livelock_window=policy.livelock_window,
+        )
+        path = (
+            Path(policy.checkpoint_dir)
+            / f"{spec.full_name}_n{n_threads}.ckpt"
+        )
+        return CheckpointHook(path, descriptor, CheckpointPolicy(
+            every_cycles=policy.checkpoint_every,
+            on_watchdog=True,
+            on_fault=True,
+        ))
+
+    def _try_resume(self, hook: CheckpointHook, spec: BenchmarkSpec):
+        """Resume the cell's simulation from its on-disk checkpoint, or
+        None (fresh run) when the checkpoint belongs to a different
+        config/attempt or cannot be rebuilt."""
+        try:
+            sim, header = resume_simulation(
+                hook.path, spec=spec,
+                expected_descriptor=hook.descriptor, bus=self.bus,
+            )
+        except CheckpointError as exc:
+            logger.warning(
+                "ignoring checkpoint %s (running fresh): %s",
+                hook.path, exc,
+            )
+            return None
+        logger.info(
+            "resuming %s from cycle %d (saved on %s)",
+            hook.path, header["cycle"], header["reason"],
+        )
+        return sim
 
     def _st_reference(
         self, spec: BenchmarkSpec, machine: MachineConfig

@@ -39,6 +39,33 @@ class SpinContext:
         self.episode_start = now
         self.segment_start = now
 
+    def state_dict(self) -> dict:
+        """JSON-safe spin-loop state; the waited-on object is recorded
+        by kind and id and re-resolved against the restored sync
+        manager on load."""
+        if self.kind == "lock":
+            obj_id = self.obj.lock_id
+        else:
+            obj_id = self.obj.barrier_id
+        return {
+            "kind": self.kind,
+            "obj_id": obj_id,
+            "iters": self.iters,
+            "episode_start": self.episode_start,
+            "my_generation": self.my_generation,
+            "contention_start": self.contention_start,
+            "segment_start": self.segment_start,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict, obj) -> "SpinContext":
+        ctx = cls(state["kind"], obj, state["episode_start"],
+                  state["my_generation"])
+        ctx.iters = state["iters"]
+        ctx.contention_start = state["contention_start"]
+        ctx.segment_start = state["segment_start"]
+        return ctx
+
 
 class SoftwareThread:
     """One software thread: an op stream plus scheduling state."""
@@ -63,6 +90,17 @@ class SoftwareThread:
         "gt_spin_cycles",
         "gt_sync_cycles",
         "gt_yield_cycles",
+        "ops_taken",
+    )
+
+    #: scalar slots serialized verbatim by :meth:`state_dict` (``body``
+    #: is represented by the ``ops_taken`` cursor, ``spin`` separately)
+    _STATE_SLOTS = (
+        "tid", "state", "core_id", "ready_time", "block_start",
+        "block_reason", "run_start", "instrs", "spin_instrs",
+        "sync_instrs", "end_time", "n_yields", "n_lock_acquires",
+        "n_barrier_waits", "gt_spin_cycles", "gt_sync_cycles",
+        "gt_yield_cycles", "ops_taken",
     )
 
     def __init__(self, tid: int, body: Iterator) -> None:
@@ -87,6 +125,32 @@ class SoftwareThread:
         self.gt_spin_cycles = 0
         self.gt_sync_cycles = 0
         self.gt_yield_cycles = 0
+        # Operation cursor: how many ops the engine has pulled from
+        # ``body``.  Generators are unpicklable, so checkpoints record
+        # this cursor and restore by replaying it against a freshly
+        # (deterministically) rebuilt program.
+        self.ops_taken = 0
+
+    def state_dict(self) -> dict:
+        state = {slot: getattr(self, slot) for slot in self._STATE_SLOTS}
+        state["spin"] = None if self.spin is None else self.spin.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict, resolve_sync=None) -> None:
+        """Restore scheduling/counter state.  ``resolve_sync(kind, id)``
+        maps a serialized spin target back to the live lock/barrier
+        object (required when the thread was mid-spin).  The op stream
+        itself is restored separately by the engine, which replays
+        ``ops_taken`` operations against a rebuilt program *before*
+        calling this."""
+        for slot in self._STATE_SLOTS:
+            setattr(self, slot, state[slot])
+        spin_state = state["spin"]
+        if spin_state is None:
+            self.spin = None
+        else:
+            obj = resolve_sync(spin_state["kind"], spin_state["obj_id"])
+            self.spin = SpinContext.from_state_dict(spin_state, obj)
 
     def __repr__(self) -> str:
         return f"SoftwareThread(tid={self.tid}, state={self.state})"

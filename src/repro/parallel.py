@@ -62,7 +62,7 @@ from repro.observability.events import (
     WorkerCrashed,
 )
 from repro.observability.metrics import harvest_cell_metrics
-from repro.robustness.faults import FAULT_KINDS, make_fault
+from repro.robustness.faults import FAULT_KINDS
 from repro.robustness.journal import SweepJournal
 from repro.workloads.spec import BenchmarkSpec
 
@@ -233,9 +233,10 @@ def run_cell_task(
         policy = replace(policy, on_error="skip")
     runner = _worker_runner(policy, cell.scale, cell.machine_json)
     if cell.fault is not None:
-        runner.fault_plan = {
-            cell.key: make_fault(cell.fault, cell.fault_seed)
-        }
+        # ship (kind, seed), not a closure: run_cell rebuilds the fault
+        # itself and can then describe it in checkpoint descriptors for
+        # crash-resume (a closure would be opaque and non-resumable)
+        runner.fault_plan = {cell.key: (cell.fault, cell.fault_seed)}
     else:
         runner.fault_plan = {}
     outcome = runner.run_cell(cell.spec, cell.n_threads)

@@ -32,6 +32,8 @@ import logging
 import os
 import tempfile
 
+from repro._version import repro_version
+
 logger = logging.getLogger(__name__)
 
 JOURNAL_VERSION = 1
@@ -146,7 +148,15 @@ class SweepJournal:
             )
         if self.path is None:
             return
-        payload = {"version": JOURNAL_VERSION, "cells": self.cells}
+        # The package version is provenance metadata only: readers key
+        # off ``version`` (the journal schema) and ignore unknown keys,
+        # and serial and parallel sweeps stamp it identically, so the
+        # byte-for-byte journal differential is unaffected.
+        payload = {
+            "version": JOURNAL_VERSION,
+            "repro_version": repro_version(),
+            "cells": self.cells,
+        }
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, tmp_path = tempfile.mkstemp(
             prefix=".journal-", suffix=".tmp", dir=directory

@@ -8,7 +8,14 @@ snapshot is plain data (dataclasses of ints and strings) so it can be
 attached to exceptions, dumped into the sweep journal as JSON, and
 rendered in failure reports without keeping the simulation alive.
 
-This module only *reads* engine attributes — it has no dependency on
+Since the checkpoint refactor the snapshot is a thin *view* over the
+``state_dict()`` SimState tree: :func:`snapshot_from_state` projects
+the scheduling/sync subset of a state tree (live or loaded from a
+checkpoint file) into an :class:`EngineSnapshot`, and
+:func:`capture_snapshot` builds that subset from a live simulation via
+the same per-layer ``state_dict`` methods.
+
+This module only *reads* engine state — it has no dependency on
 :mod:`repro.sim.engine`, which imports it for error decoration.
 """
 
@@ -100,58 +107,76 @@ class EngineSnapshot:
         return " | ".join(parts)
 
 
-def _spin_target(thread) -> str:
-    ctx = thread.spin
-    if ctx is None:
+def _spin_target(spin_state: dict | None) -> str:
+    if spin_state is None:
         return ""
-    if ctx.kind == "lock":
-        return f"lock:{ctx.obj.lock_id}"
-    return f"barrier:{ctx.obj.barrier_id}"
+    return f"{spin_state['kind']}:{spin_state['obj_id']}"
 
 
-def capture_snapshot(sim) -> EngineSnapshot:
-    """Snapshot a live :class:`~repro.sim.engine.Simulation`."""
+def snapshot_from_state(state: dict) -> EngineSnapshot:
+    """Project a SimState tree (``Simulation.state_dict()`` output, or
+    the payload of a checkpoint file) into an :class:`EngineSnapshot`.
+
+    Only the scheduling/synchronization subset is read, so a partial
+    tree with just ``threads``, ``sync`` and ``cores`` suffices.
+    """
     threads = tuple(
         ThreadSnapshot(
-            tid=t.tid,
-            state=t.state,
-            core_id=t.core_id,
-            block_reason=t.block_reason,
-            ready_time=t.ready_time,
-            instrs=t.instrs,
-            spin_instrs=t.spin_instrs,
-            n_yields=t.n_yields,
-            end_time=t.end_time,
-            spinning_on=_spin_target(t),
+            tid=t["tid"],
+            state=t["state"],
+            core_id=t["core_id"],
+            block_reason=t["block_reason"],
+            ready_time=t["ready_time"],
+            instrs=t["instrs"],
+            spin_instrs=t["spin_instrs"],
+            n_yields=t["n_yields"],
+            end_time=t["end_time"],
+            spinning_on=_spin_target(t["spin"]),
         )
-        for t in sim.threads
+        for t in state["threads"]
     )
+    sync = state["sync"]
     locks = tuple(
         LockSnapshot(
-            lock_id=lock.lock_id,
-            holder_tid=lock.holder.tid if lock.holder is not None else None,
-            waiter_tids=tuple(t.tid for t in lock.waiters),
-            n_acquires=lock.n_acquires,
-            n_contended=lock.n_contended,
+            lock_id=lock["lock_id"],
+            holder_tid=lock["holder"],
+            waiter_tids=tuple(lock["waiters"]),
+            n_acquires=lock["n_acquires"],
+            n_contended=lock["n_contended"],
         )
-        for lock in sim.sync.locks.values()
+        for lock in sync["locks"]
     )
     barriers = tuple(
         BarrierSnapshot(
-            barrier_id=b.barrier_id,
-            n_parties=b.n_parties,
-            arrived=b.arrived,
-            generation=b.generation,
-            waiter_tids=tuple(t.tid for t in b.waiters),
+            barrier_id=b["barrier_id"],
+            n_parties=b["n_parties"],
+            arrived=b["arrived"],
+            generation=b["generation"],
+            waiter_tids=tuple(b["waiters"]),
         )
-        for b in sim.sync.barriers.values()
+        for b in sync["barriers"]
     )
-    clocks = tuple(core.now for core in sim.cores)
+    clocks = tuple(core["now"] for core in state["cores"])
     return EngineSnapshot(
         cycle=max(clocks) if clocks else 0,
-        n_finished=sum(1 for t in sim.threads if t.state == FINISHED),
+        n_finished=sum(1 for t in threads if t.state == FINISHED),
         core_clocks=clocks,
         threads=threads,
         locks=locks,
         barriers=barriers,
     )
+
+
+def capture_snapshot(sim) -> EngineSnapshot:
+    """Snapshot a live :class:`~repro.sim.engine.Simulation`.
+
+    Builds only the scheduling/sync subset of the state tree (cheap —
+    no cache or DRAM serialization) and projects it through
+    :func:`snapshot_from_state`, so the post-mortem surface and the
+    checkpoint format can never drift apart.
+    """
+    return snapshot_from_state({
+        "threads": [thread.state_dict() for thread in sim.threads],
+        "sync": sim.sync.state_dict(),
+        "cores": [{"now": core.now} for core in sim.cores],
+    })

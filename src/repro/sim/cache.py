@@ -179,3 +179,64 @@ class SetAssocCache:
         if self._sparse:
             return list(self._sets.get(set_index, ()))
         return list(self._sets[set_index].keys())
+
+    # ------------------------------------------------------------------
+    # checkpointing (Snapshotable)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """All mutable tag-store state, JSON-safe.
+
+        Non-empty sets only, as ``[set_index, [lines...], [dirty...]]``
+        triples (parallel flat lists — cheaper to build and encode than
+        per-line pairs; checkpoint saves walk every set); within a set
+        the line order *is* the replacement order (eviction candidate
+        first), so restoring in order reproduces LRU/FIFO behaviour
+        exactly.  For sparse stores the triple order is the set
+        materialization order, which keeps the round trip byte-stable.
+        A stateful replacement policy (seeded random) contributes its
+        RNG state under ``"policy"``.
+        """
+        if self._sparse:
+            sets = [
+                [index, list(entries.keys()), list(entries.values())]
+                for index, entries in self._sets.items()
+                if entries
+            ]
+        else:
+            sets = [
+                [index, list(entries.keys()), list(entries.values())]
+                for index, entries in enumerate(self._sets)
+                if entries
+            ]
+        state = {
+            "sets": sets,
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "n_evictions": self.n_evictions,
+            "generation": self.generation,
+        }
+        policy_state = getattr(self._policy, "state_dict", None)
+        if policy_state is not None:
+            state["policy"] = policy_state()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a same-config cache."""
+        if self._sparse:
+            self._sets.clear()
+        else:
+            for cache_set in self._sets:
+                if cache_set:
+                    cache_set.clear()
+        for index, lines, dirty_bits in state["sets"]:
+            cache_set = self._sets[index]
+            for line, dirty in zip(lines, dirty_bits):
+                cache_set[line] = dirty
+        self.n_hits = state["n_hits"]
+        self.n_misses = state["n_misses"]
+        self.n_evictions = state["n_evictions"]
+        self.generation = state["generation"]
+        policy_load = getattr(self._policy, "load_state_dict", None)
+        if policy_load is not None and "policy" in state:
+            policy_load(state["policy"])

@@ -30,7 +30,7 @@ Out-of-order behaviour is captured with an interval model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 
 from repro.accounting.interface import NULL_ACCOUNTANT
 from repro.config import MachineConfig
@@ -431,3 +431,55 @@ class Chip:
             self.memory.writeback(
                 victim_line * self.machine.llc.line_bytes, core_id, now
             )
+
+    # ------------------------------------------------------------------
+    # checkpointing (Snapshotable)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The whole memory hierarchy: caches, directory, DRAM, per-core
+        stats, and the in-flight miss windows (MLP state)."""
+        return {
+            "l1d": [cache.state_dict() for cache in self.l1d],
+            "llc": self.llc.state_dict(),
+            "directory": self.directory.state_dict(),
+            "memory": self.memory.state_dict(),
+            "stats": [asdict(stats) for stats in self.stats],
+            "mem_state": [
+                {
+                    "insts_since_first": state.insts_since_first,
+                    "outstanding": [
+                        {
+                            "end_time": miss.end_time,
+                            "classification": miss.classification,
+                            "is_load": miss.is_load,
+                            "ora_conflict": miss.ora_conflict,
+                            "dram": asdict(miss.dram_result),
+                        }
+                        for miss in state.outstanding
+                    ],
+                }
+                for state in self._mem_state
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for cache, cache_state in zip(self.l1d, state["l1d"]):
+            cache.load_state_dict(cache_state)
+        self.llc.load_state_dict(state["llc"])
+        self.directory.load_state_dict(state["directory"])
+        self.memory.load_state_dict(state["memory"])
+        for index, stats_state in enumerate(state["stats"]):
+            self.stats[index] = CoreStats(**stats_state)
+        for mem_state, saved in zip(self._mem_state, state["mem_state"]):
+            mem_state.insts_since_first = saved["insts_since_first"]
+            mem_state.outstanding = [
+                _OutstandingMiss(
+                    end_time=miss["end_time"],
+                    classification=miss["classification"],
+                    dram_result=DramAccessResult(**miss["dram"]),
+                    is_load=miss["is_load"],
+                    ora_conflict=miss["ora_conflict"],
+                )
+                for miss in saved["outstanding"]
+            ]

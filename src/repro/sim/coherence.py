@@ -109,3 +109,41 @@ class CoherenceDirectory:
         """(version, last-writer core) observed by a load; (-1,-1) if never
         written during the simulation (immutable/initial data)."""
         return self._word_versions.get(word_addr(addr), (-1, -1))
+
+    # ------------------------------------------------------------------
+    # checkpointing (Snapshotable)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Directory state, JSON-safe.
+
+        Sharer and invalid-tag sets serialize sorted: for small-int
+        core ids and line addresses, CPython set iteration order is a
+        function of the members alone, so a sorted rebuild is
+        behaviourally identical and gives canonical bytes.
+        """
+        return {
+            "sharers": [
+                [line, sorted(cores)]
+                for line, cores in self._sharers.items()
+            ],
+            "invalid_tags": [sorted(tags) for tags in self._invalid_tags],
+            "word_versions": [
+                [word, version, writer]
+                for word, (version, writer) in self._word_versions.items()
+            ],
+            "n_invalidations": self.n_invalidations,
+            "n_upgrade_writes": self.n_upgrade_writes,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._sharers = {
+            line: set(cores) for line, cores in state["sharers"]
+        }
+        self._invalid_tags = [set(tags) for tags in state["invalid_tags"]]
+        self._word_versions = {
+            word: (version, writer)
+            for word, version, writer in state["word_versions"]
+        }
+        self.n_invalidations = state["n_invalidations"]
+        self.n_upgrade_writes = state["n_upgrade_writes"]

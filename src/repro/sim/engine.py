@@ -25,7 +25,12 @@ from dataclasses import dataclass
 from repro.accounting.interface import NULL_ACCOUNTANT
 from repro.components.registry import resolve
 from repro.config import MachineConfig
-from repro.errors import DeadlockError, LivelockError, SimulationError
+from repro.errors import (
+    CheckpointError,
+    DeadlockError,
+    LivelockError,
+    SimulationError,
+)
 from repro.observability.events import (
     DeadlockDetected,
     SimEnded,
@@ -64,6 +69,10 @@ from repro.workloads.program import (
 )
 
 _INFINITY = float("inf")
+
+#: sentinel distinguishing "generator exhausted" from a yielded None
+#: during checkpoint-restore op replay
+_EXHAUSTED = object()
 
 logger = logging.getLogger(__name__)
 
@@ -172,6 +181,17 @@ class Simulation:
             core.queue.append(thread)
         self._n_finished = 0
         self._ff_limit = _INFINITY
+        # Watchdog progress state lives on the instance (not as run()
+        # locals) so a checkpoint restored mid-run resumes the stride
+        # and livelock bookkeeping byte-identically.
+        self._steps = 0
+        self._last_progress = (0, 0)
+        self._last_progress_time = 0
+        self._warmed = False
+        #: armed :class:`~repro.checkpoint.policy.CheckpointHook` (or
+        #: None); consulted once per scheduling step and on watchdog/
+        #: fault exits
+        self._checkpoint = None
         self._scheduler = resolve("scheduler", machine.sched.policy)(machine.sched)
         self._dispatch_cost = (
             machine.sched.context_switch_cycles
@@ -193,6 +213,7 @@ class Simulation:
         *,
         livelock_window: int | None = None,
         on_timeout: str = "raise",
+        checkpoint=None,
     ) -> SimResult:
         """Run to completion (or until the watchdog fires).
 
@@ -205,17 +226,30 @@ class Simulation:
         snapshot attached, ``"truncate"`` returns a truncated-but-usable
         :class:`SimResult` flagged ``truncated=True``.  Deadlock always
         raises — there is nothing left to simulate.
+
+        ``checkpoint`` arms an optional
+        :class:`~repro.checkpoint.policy.CheckpointHook`: periodic
+        every-N-cycles saves from the scheduling loop, plus
+        save-before-report on watchdog fires and engine faults (as the
+        hook's policy selects).  Saving never mutates simulation state,
+        so an interrupted-and-resumed run is byte-identical to an
+        uninterrupted one.  On a simulation restored with
+        :meth:`load_state_dict`, ``run`` continues from the restored
+        point (cache warmup is skipped — the warmed state is part of
+        the checkpoint).
         """
         if on_timeout not in ("raise", "truncate"):
             raise ValueError(f"on_timeout must be raise|truncate: {on_timeout!r}")
-        self._warm_caches()
+        self._checkpoint = checkpoint
+        if not self._warmed:
+            self._warm_caches()
+            self._warmed = True
+            self._last_progress = self._progress_metric()
         n_threads = len(self.threads)
         fast_forward = self.fast_forward
         if self.bus is not None:
             self.bus.emit(SimStarted(n_threads, self.machine.n_cores))
-        steps = 0
-        last_progress = self._progress_metric()
-        last_progress_time = 0
+        steps = self._steps
         while self._n_finished < n_threads:
             core = self._pick_core()
             if core is None:
@@ -225,33 +259,40 @@ class Simulation:
                     self.bus.emit(DeadlockDetected(
                         max(c.now for c in self.cores), tuple(blocked)
                     ))
+                self._steps = steps
                 raise self._error(DeadlockError(
                     f"no runnable core; blocked threads: {blocked}"
-                ))
+                ), reason="deadlock")
             if max_cycles is not None and core.now > max_cycles:
+                self._steps = steps
                 if on_timeout == "truncate":
                     return self._truncate("max_cycles")
                 raise self._error(SimulationError(
                     f"exceeded max_cycles={max_cycles} at t={core.now}"
-                ))
+                ), reason="max_cycles")
             steps += 1
             if livelock_window is not None and steps % _WATCHDOG_STRIDE == 0:
                 progress = self._progress_metric()
-                if progress != last_progress:
-                    last_progress = progress
-                    last_progress_time = core.now
-                elif core.now - last_progress_time > livelock_window:
+                if progress != self._last_progress:
+                    self._last_progress = progress
+                    self._last_progress_time = core.now
+                elif core.now - self._last_progress_time > livelock_window:
+                    self._steps = steps
                     if on_timeout == "truncate":
                         return self._truncate("livelock")
                     raise self._error(LivelockError(
                         f"no forward progress for {livelock_window} cycles "
                         f"at t={core.now}"
-                    ))
+                    ), reason="livelock")
             self._step(core)
             if fast_forward:
                 steps = self._fast_forward_block(
                     core, max_cycles, livelock_window, steps
                 )
+            if checkpoint is not None and checkpoint.due(core.now):
+                self._steps = steps
+                checkpoint.save(self, "interval")
+        self._steps = steps
         total = max(t.end_time for t in self.threads)
         logger.debug(
             "run complete: %d threads, %d cycles", n_threads, total
@@ -282,11 +323,32 @@ class Simulation:
 
     def snapshot(self):
         """Capture an :class:`~repro.robustness.snapshot.EngineSnapshot`
-        of the current scheduling and synchronization state."""
+        of the current scheduling and synchronization state.
+
+        .. deprecated::
+            Thin alias kept for callers of the pre-checkpoint API; the
+            snapshot is now a view over the :meth:`state_dict` tree
+            (see :func:`repro.robustness.snapshot.capture_snapshot`).
+        """
         return capture_snapshot(self)
 
-    def _error(self, exc: SimulationError) -> SimulationError:
-        """Attach a post-mortem snapshot to an engine error."""
+    def _save_checkpoint(self, reason: str) -> None:
+        """Best-effort checkpoint save on a watchdog/fault exit path;
+        a failing save must never mask the underlying condition."""
+        hook = self._checkpoint
+        if hook is None or not hook.wants(reason):
+            return
+        try:
+            hook.save(self, reason)
+        except Exception:
+            logger.exception("checkpoint save on %s failed", reason)
+
+    def _error(
+        self, exc: SimulationError, reason: str = "fault"
+    ) -> SimulationError:
+        """Attach a post-mortem snapshot to an engine error (and save a
+        checkpoint first, when the armed policy covers ``reason``)."""
+        self._save_checkpoint(reason)
         try:
             exc.snapshot = capture_snapshot(self)
         except Exception:  # diagnostics must never mask the real error
@@ -294,7 +356,16 @@ class Simulation:
         return exc
 
     def _truncate(self, reason: str) -> SimResult:
-        """Close out a watchdog-cut run into a usable partial result."""
+        """Close out a watchdog-cut run into a usable partial result.
+
+        When a checkpoint hook with ``on_watchdog`` is armed, the full
+        state is saved *before* the truncation mutates thread end
+        times, so the saved checkpoint stays resumable (e.g. under a
+        raised ``max_cycles``) and the post-mortem
+        :class:`~repro.robustness.snapshot.EngineSnapshot` is simply a
+        view over it.
+        """
+        self._save_checkpoint(reason)
         now = max(core.now for core in self.cores)
         unfinished = 0
         for thread in self.threads:
@@ -464,6 +535,7 @@ class Simulation:
             if op is None:
                 self._finish_thread(core, thread)
                 break
+            thread.ops_taken += 1
             tag = op.TAG
             now = core.now
             if tag == TAG_COMPUTE:
@@ -529,6 +601,7 @@ class Simulation:
         if op is None:
             self._finish_thread(core, thread)
             return
+        thread.ops_taken += 1
         tag = op.TAG
         cid = core.core_id
         now = core.now
@@ -814,6 +887,113 @@ class Simulation:
         thread.ready_time = now + self.machine.sched.wakeup_latency_cycles
         self.cores[thread.core_id].queue.append(thread)
 
+    # ------------------------------------------------------------------
+    # checkpointing (Snapshotable)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The full SimState tree: engine loop state, per-core runtime
+        state, thread cursors/counters, sync primitives, the whole
+        memory hierarchy, and (when accounting) the accountant.
+
+        Thread op streams (Python generators) are represented by each
+        thread's ``ops_taken`` cursor; :meth:`load_state_dict` replays
+        the cursor against a deterministically rebuilt program.  Never
+        mutates the simulation, so it is safe to call mid-run.
+        """
+        state = {
+            "n_finished": self._n_finished,
+            "steps": self._steps,
+            "last_progress": list(self._last_progress),
+            "last_progress_time": self._last_progress_time,
+            "warmed": self._warmed,
+            "threads": [thread.state_dict() for thread in self.threads],
+            "cores": [
+                {
+                    "now": core.now,
+                    "busy_cycles": core.busy_cycles,
+                    "current": (
+                        None if core.current is None else core.current.tid
+                    ),
+                    "queue": [thread.tid for thread in core.queue],
+                }
+                for core in self.cores
+            ],
+            "sync": self.sync.state_dict(),
+            "chip": self.chip.state_dict(),
+        }
+        if self.accountant.enabled:
+            state["accountant"] = self.accountant.state_dict()
+        scheduler_state = getattr(self._scheduler, "state_dict", None)
+        if scheduler_state is not None:
+            state["scheduler"] = scheduler_state()
+        return state
+
+    def _resolve_sync(self, kind: str, obj_id: int):
+        if kind == "lock":
+            return self.sync.lock(obj_id)
+        return self.sync.barrier(obj_id)
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` tree onto a *fresh* simulation.
+
+        The simulation must have been built from the same machine
+        config and a freshly constructed, identical program (generators
+        are stateful: a program whose bodies were already consumed
+        cannot be reused).  Each thread's op stream is replayed to its
+        recorded ``ops_taken`` cursor; a stream that exhausts early
+        means the program does not match the checkpoint.
+        """
+        threads = self.threads
+        if len(state["threads"]) != len(threads):
+            raise CheckpointError(
+                f"checkpoint has {len(state['threads'])} threads, "
+                f"program has {len(threads)}"
+            )
+        for thread, thread_state in zip(threads, state["threads"]):
+            target = thread_state["ops_taken"]
+            if thread_state["state"] != FINISHED:
+                body = thread.body
+                for _ in range(target):
+                    if next(body, _EXHAUSTED) is _EXHAUSTED:
+                        raise CheckpointError(
+                            f"thread {thread.tid} op stream exhausted before "
+                            f"replaying {target} ops — the rebuilt program "
+                            "does not match the checkpoint"
+                        )
+        self.sync.load_state_dict(state["sync"], threads)
+        for thread, thread_state in zip(threads, state["threads"]):
+            thread.load_state_dict(thread_state, self._resolve_sync)
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.now = core_state["now"]
+            core.busy_cycles = core_state["busy_cycles"]
+            current = core_state["current"]
+            core.current = None if current is None else threads[current]
+            core.queue.clear()
+            core.queue.extend(threads[tid] for tid in core_state["queue"])
+        self.chip.load_state_dict(state["chip"])
+        if "accountant" in state:
+            if not self.accountant.enabled:
+                raise CheckpointError(
+                    "checkpoint carries accounting state but this "
+                    "simulation has no accountant"
+                )
+            self.accountant.load_state_dict(state["accountant"])
+        elif self.accountant.enabled:
+            raise CheckpointError(
+                "checkpoint lacks accounting state required by this "
+                "simulation's accountant"
+            )
+        scheduler_load = getattr(self._scheduler, "load_state_dict", None)
+        if scheduler_load is not None and "scheduler" in state:
+            scheduler_load(state["scheduler"])
+        self._n_finished = state["n_finished"]
+        self._steps = state["steps"]
+        self._last_progress = tuple(state["last_progress"])
+        self._last_progress_time = state["last_progress_time"]
+        self._warmed = state["warmed"]
+        self._ff_limit = _INFINITY
+
 
 def simulate(
     machine: MachineConfig,
@@ -824,6 +1004,7 @@ def simulate(
     on_timeout: str = "raise",
     fast_forward: bool = True,
     bus=None,
+    checkpoint=None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Simulation` and run it."""
     return Simulation(machine, program, accountant,
@@ -831,4 +1012,5 @@ def simulate(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
+        checkpoint=checkpoint,
     )

@@ -95,6 +95,18 @@ class _SharedResource:
             total += hi - lo
         return total if total < t_to - t_from else t_to - t_from
 
+    def state_dict(self) -> dict:
+        return {
+            "free_time": self.free_time,
+            "reservations": [list(r) for r in self._reservations],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.free_time = state["free_time"]
+        self._reservations = deque(
+            (start, end, core) for start, end, core in state["reservations"]
+        )
+
 
 class _Bank:
     """One DRAM bank: busy window plus the currently open page."""
@@ -174,3 +186,49 @@ class MainMemory:
         bank.open_page = self.page_policy.page_after(page_id)
         bank.opener_core = core_id if bank.open_page is not None else None
         self.bus.reserve(bank_start + service, self.config.bus_cycles, core_id)
+
+    # ------------------------------------------------------------------
+    # checkpointing (Snapshotable)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Bus/bank occupancy windows, open pages, and counters.
+
+        The reservation deques are restored exactly — the waiting-time
+        attribution in :meth:`_SharedResource._overlap_from_others`
+        depends on them, so dropping history would perturb the
+        interference decomposition right after a resume.
+        """
+        state = {
+            "bus": self.bus.state_dict(),
+            "banks": [
+                {
+                    "resource": bank.resource.state_dict(),
+                    "open_page": bank.open_page,
+                    "opener_core": bank.opener_core,
+                }
+                for bank in self.banks
+            ],
+            "n_accesses": self.n_accesses,
+            "n_page_hits": self.n_page_hits,
+            "n_page_conflicts": self.n_page_conflicts,
+            "n_writebacks": self.n_writebacks,
+        }
+        policy_state = getattr(self.page_policy, "state_dict", None)
+        if policy_state is not None:
+            state["page_policy"] = policy_state()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.bus.load_state_dict(state["bus"])
+        for bank, bank_state in zip(self.banks, state["banks"]):
+            bank.resource.load_state_dict(bank_state["resource"])
+            bank.open_page = bank_state["open_page"]
+            bank.opener_core = bank_state["opener_core"]
+        self.n_accesses = state["n_accesses"]
+        self.n_page_hits = state["n_page_hits"]
+        self.n_page_conflicts = state["n_page_conflicts"]
+        self.n_writebacks = state["n_writebacks"]
+        policy_load = getattr(self.page_policy, "load_state_dict", None)
+        if policy_load is not None and "page_policy" in state:
+            policy_load(state["page_policy"])

@@ -190,6 +190,53 @@ class WayPartitionedCache:
         owners[line_addr] = owner
         return victim
 
+    # -- checkpointing (Snapshotable) --------------------------------------
+
+    def state_dict(self) -> dict:
+        """Tag, LRU-order, and per-line ownership state, JSON-safe.
+
+        Same layout as :meth:`SetAssocCache.state_dict` plus an
+        ``"owners"`` list mirroring ``"sets"``: for every non-empty set,
+        ``[set_index, [[line, core], ...]]`` in insertion order.
+        """
+        sets = [
+            [index, [[line, dirty] for line, dirty in entries.items()]]
+            for index, entries in enumerate(self._sets)
+            if entries
+        ]
+        owners = [
+            [index, [[line, core] for line, core in owned.items()]]
+            for index, owned in enumerate(self._owners)
+            if owned
+        ]
+        return {
+            "sets": sets,
+            "owners": owners,
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "n_evictions": self.n_evictions,
+            "generation": self.generation,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto a same-config cache."""
+        for index, cache_set in enumerate(self._sets):
+            if cache_set:
+                cache_set.clear()
+                self._owners[index].clear()
+        for index, entries in state["sets"]:
+            cache_set = self._sets[index]
+            for line, dirty in entries:
+                cache_set[line] = dirty
+        for index, owned in state["owners"]:
+            owners = self._owners[index]
+            for line, core in owned:
+                owners[line] = core
+        self.n_hits = state["n_hits"]
+        self.n_misses = state["n_misses"]
+        self.n_evictions = state["n_evictions"]
+        self.generation = state["generation"]
+
     def _lru_line_of(self, set_index: int, core: int) -> int:
         owners = self._owners[set_index]
         for line in self._sets[set_index]:

@@ -78,6 +78,32 @@ class LockState:
     def is_free(self) -> bool:
         return self.holder is None
 
+    def state_dict(self) -> dict:
+        """Thread references serialize as tids (waiters in FIFO order)."""
+        return {
+            "lock_id": self.lock_id,
+            "addr": self.addr,
+            "holder": None if self.holder is None else self.holder.tid,
+            "waiters": [thread.tid for thread in self.waiters],
+            "n_acquires": self.n_acquires,
+            "n_contended": self.n_contended,
+            "fifo_handoff": self.fifo_handoff,
+            "total_wait_cycles": self.total_wait_cycles,
+            "hold_start": self.hold_start,
+            "total_hold_cycles": self.total_hold_cycles,
+        }
+
+    def load_state_dict(self, state: dict, threads) -> None:
+        holder = state["holder"]
+        self.holder = None if holder is None else threads[holder]
+        self.waiters = deque(threads[tid] for tid in state["waiters"])
+        self.n_acquires = state["n_acquires"]
+        self.n_contended = state["n_contended"]
+        self.fifo_handoff = state["fifo_handoff"]
+        self.total_wait_cycles = state["total_wait_cycles"]
+        self.hold_start = state["hold_start"]
+        self.total_hold_cycles = state["total_hold_cycles"]
+
 
 class BarrierState:
     """A generation-counting (sense-reversing) barrier."""
@@ -109,6 +135,24 @@ class BarrierState:
             self.n_episodes += 1
             return True
         return False
+
+    def state_dict(self) -> dict:
+        return {
+            "barrier_id": self.barrier_id,
+            "count_addr": self.count_addr,
+            "gen_addr": self.gen_addr,
+            "n_parties": self.n_parties,
+            "arrived": self.arrived,
+            "generation": self.generation,
+            "waiters": [thread.tid for thread in self.waiters],
+            "n_episodes": self.n_episodes,
+        }
+
+    def load_state_dict(self, state: dict, threads) -> None:
+        self.arrived = state["arrived"]
+        self.generation = state["generation"]
+        self.waiters = deque(threads[tid] for tid in state["waiters"])
+        self.n_episodes = state["n_episodes"]
 
 
 class SyncManager:
@@ -163,3 +207,51 @@ class SyncManager:
     @property
     def barriers(self) -> dict[int, BarrierState]:
         return self._barriers
+
+    # ------------------------------------------------------------------
+    # checkpointing (Snapshotable)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Every lazily-created primitive in creation order, plus the
+        address allocator cursor — restoring in the same order rebuilds
+        identical addresses and identical dict iteration order."""
+        return {
+            "next_addr": self._next_addr,
+            "locks": [lock.state_dict() for lock in self._locks.values()],
+            "barriers": [
+                barrier.state_dict() for barrier in self._barriers.values()
+            ],
+            "futex_queues": [
+                [addr, [thread.tid for thread in queue]]
+                for addr, queue in self._futex_queues.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict, threads) -> None:
+        """Rebuild all primitives at their recorded addresses.
+
+        ``threads`` is the tid-indexed list of live
+        :class:`~repro.osmodel.thread.SoftwareThread` objects used to
+        resolve holders/waiters back into object references.
+        """
+        self._locks.clear()
+        self._barriers.clear()
+        self._futex_queues.clear()
+        for lock_state in state["locks"]:
+            lock = LockState(
+                lock_state["lock_id"], lock_state["addr"],
+                lock_state["fifo_handoff"],
+            )
+            lock.load_state_dict(lock_state, threads)
+            self._locks[lock.lock_id] = lock
+        for barrier_state in state["barriers"]:
+            barrier = BarrierState(
+                barrier_state["barrier_id"], barrier_state["count_addr"],
+                barrier_state["gen_addr"], barrier_state["n_parties"],
+            )
+            barrier.load_state_dict(barrier_state, threads)
+            self._barriers[barrier.barrier_id] = barrier
+        for addr, tids in state["futex_queues"]:
+            self._futex_queues[addr] = deque(threads[tid] for tid in tids)
+        self._next_addr = state["next_addr"]

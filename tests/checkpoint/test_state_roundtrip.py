@@ -1,0 +1,108 @@
+"""SimState tree invariants: JSON-stability and load idempotence.
+
+Every ``state_dict()`` tree must (1) survive a JSON encode/decode
+unchanged — checkpoints live on disk as JSON — and (2) restore onto a
+freshly built simulation such that the restored tree re-serializes to
+the same bytes.  These two properties are what make the on-disk format
+a faithful projection of the engine.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.accounting.accountant import CycleAccountant
+from repro.config import AccountingConfig, MachineConfig
+from repro.sim.engine import Simulation
+from repro.workloads.spec import build_program
+from repro.workloads.suite import by_name
+
+from tests.conftest import lock_step_program
+
+BENCH = "cholesky"
+N, SCALE = 4, 0.05
+
+
+def canon(state: dict) -> str:
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+def _accounted_sim(machine, max_cycles=None):
+    spec = by_name(BENCH)
+    sim = Simulation(
+        machine, build_program(spec, N, scale=SCALE),
+        CycleAccountant(machine),
+    )
+    if max_cycles is None:
+        result = sim.run()
+    else:
+        result = sim.run(max_cycles=max_cycles, on_timeout="truncate")
+    return sim, result
+
+
+class TestJsonStability:
+    def test_finished_run(self, machine4):
+        state = _accounted_sim(machine4)[0].state_dict()
+        assert json.loads(canon(state)) == state
+
+    def test_mid_run(self, machine4):
+        state = _accounted_sim(machine4, max_cycles=3_000)[0].state_dict()
+        assert json.loads(canon(state)) == state
+
+    def test_state_dict_is_pure(self, machine4):
+        """Serializing twice yields identical trees — no hidden
+        mutation inside state_dict itself."""
+        sim, _ = _accounted_sim(machine4, max_cycles=3_000)
+        assert canon(sim.state_dict()) == canon(sim.state_dict())
+
+
+class TestLoadIdempotence:
+    def _roundtrip(self, machine):
+        sim, _ = _accounted_sim(machine, max_cycles=3_000)
+        state = json.loads(canon(sim.state_dict()))
+        spec = by_name(BENCH)
+        fresh = Simulation(
+            machine, build_program(spec, N, scale=SCALE),
+            CycleAccountant(machine),
+        )
+        fresh.load_state_dict(state)
+        return canon(state), canon(fresh.state_dict())
+
+    def test_accounted_state(self, machine4):
+        saved, restored = self._roundtrip(machine4)
+        assert restored == saved
+
+    def test_li_spin_detector_state(self):
+        machine = MachineConfig(
+            n_cores=4, accounting=AccountingConfig(spin_detector="li"),
+        )
+        saved, restored = self._roundtrip(machine)
+        assert restored == saved
+
+    def test_restored_run_completes(self, machine4):
+        """A restored simulation is actually runnable, not just
+        re-serializable."""
+        sim, _ = _accounted_sim(machine4, max_cycles=3_000)
+        _, reference = _accounted_sim(machine4)
+        state = json.loads(canon(sim.state_dict()))
+        spec = by_name(BENCH)
+        fresh = Simulation(
+            machine4, build_program(spec, N, scale=SCALE),
+            CycleAccountant(machine4),
+        )
+        fresh.load_state_dict(state)
+        result = fresh.run()
+        assert result.total_cycles == reference.total_cycles
+
+
+class TestSyncPrimitiveState:
+    def test_locks_and_barriers_roundtrip(self, machine4):
+        """Mid-critical-section state (held locks, waiter queues)
+        restores exactly."""
+        sim = Simulation(machine4, lock_step_program(4, iters=200))
+        sim.run(max_cycles=4_000, on_timeout="truncate")
+        state = json.loads(canon(sim.state_dict()))
+        fresh = Simulation(machine4, lock_step_program(4, iters=200))
+        fresh.load_state_dict(state)
+        assert canon(fresh.state_dict()) == canon(state)
+        assert fresh.sync.state_dict() == sim.sync.state_dict()

@@ -201,3 +201,118 @@ class TestTruncatedAccounting:
         stack = build_stack("lock-step", report)
         assert not stack.truncated
         assert "[TRUNCATED RUN]" not in render_stack(stack)
+
+
+class TestTruncationCheckpoint:
+    """``_truncate`` saves the pre-truncation state *before* stamping
+    end times, so a watchdog checkpoint resumes under a raised limit;
+    fault exits checkpoint-then-raise when the policy covers them."""
+
+    def _hook(self, tmp_path, machine, policy=None):
+        from repro.checkpoint import (
+            CheckpointHook,
+            CheckpointPolicy,
+            cell_descriptor,
+        )
+
+        descriptor = cell_descriptor(machine, "lock-step", 4, 1.0)
+        return CheckpointHook(
+            tmp_path / "t.ckpt", descriptor,
+            policy or CheckpointPolicy(),
+        )
+
+    def test_truncate_saves_before_end_time_stamping(
+        self, tmp_path, machine4
+    ):
+        """The saved tree must predate the truncation bookkeeping:
+        unfinished threads carry no end time in the checkpoint even
+        though the returned result stamps the cut point."""
+        from repro.checkpoint import load_checkpoint
+
+        hook = self._hook(tmp_path, machine4)
+        sim = Simulation(machine4, lock_step_program(4, iters=200))
+        result = sim.run(
+            max_cycles=5_000, on_timeout="truncate", checkpoint=hook,
+        )
+        assert result.truncated
+        header, state = load_checkpoint(hook.path)
+        assert header["reason"] == "max_cycles"
+        unfinished = [
+            t for t in state["threads"] if t["state"] != "finished"
+        ]
+        assert unfinished
+        # -1 is the engine's "never finished" sentinel: the truncation
+        # cut point is NOT stamped into the checkpoint
+        assert all(t["end_time"] == -1 for t in unfinished)
+
+    def test_watchdog_checkpoint_resumes_under_raised_limit(
+        self, tmp_path, machine4
+    ):
+        """Continue a max-cycles-cut run from its checkpoint with the
+        limit lifted; it must finish exactly like an unbounded run."""
+        from repro.checkpoint import load_checkpoint
+
+        reference = simulate(machine4, lock_step_program(4, iters=200))
+        hook = self._hook(tmp_path, machine4)
+        sim = Simulation(machine4, lock_step_program(4, iters=200))
+        sim.run(max_cycles=5_000, on_timeout="truncate", checkpoint=hook)
+        _header, state = load_checkpoint(hook.path)
+        resumed = Simulation(machine4, lock_step_program(4, iters=200))
+        resumed.load_state_dict(state)
+        result = resumed.run()
+        assert not result.truncated
+        assert result.total_cycles == reference.total_cycles
+        assert result.thread_end_times == reference.thread_end_times
+
+    def test_livelock_truncation_checkpoints(self, tmp_path):
+        machine = MachineConfig(n_cores=2)
+        from repro.checkpoint import (
+            CheckpointHook,
+            CheckpointPolicy,
+            cell_descriptor,
+            read_header,
+        )
+
+        hook = CheckpointHook(
+            tmp_path / "l.ckpt",
+            cell_descriptor(machine, "livelock", 2, 1.0),
+            CheckpointPolicy(),
+        )
+        result = simulate(
+            machine, livelock_program(),
+            livelock_window=20_000, on_timeout="truncate",
+            checkpoint=hook,
+        )
+        assert result.truncation_reason == "livelock"
+        assert read_header(hook.path)["reason"] == "livelock"
+
+    def test_deadlock_checkpoints_then_raises(self, tmp_path, machine4):
+        from repro.checkpoint import CheckpointPolicy, read_header
+
+        def body(tid):
+            yield Compute(50)
+            yield FutexWait(0x100)
+
+        hook = self._hook(
+            tmp_path, machine4, CheckpointPolicy(on_fault=True),
+        )
+        sim = Simulation(
+            machine4, Program("all-wait", [body(t) for t in range(4)])
+        )
+        with pytest.raises(DeadlockError) as err:
+            sim.run(checkpoint=hook)
+        assert err.value.snapshot is not None
+        assert read_header(hook.path)["reason"] == "deadlock"
+
+    def test_policy_off_means_no_watchdog_save(self, tmp_path, machine4):
+        from repro.checkpoint import CheckpointPolicy
+
+        hook = self._hook(
+            tmp_path, machine4, CheckpointPolicy(on_watchdog=False),
+        )
+        result = simulate(
+            machine4, lock_step_program(4, iters=200),
+            max_cycles=5_000, on_timeout="truncate", checkpoint=hook,
+        )
+        assert result.truncated
+        assert not hook.path.exists()

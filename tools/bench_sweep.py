@@ -49,6 +49,10 @@ def main(argv=None) -> int:
                         default=None, metavar="PCT",
                         help="fail (exit 1) when enabled-instrumentation "
                              "overhead exceeds this percentage")
+    parser.add_argument("--max-checkpoint-overhead", type=float,
+                        default=None, metavar="PCT",
+                        help="fail (exit 1) when periodic-checkpointing "
+                             "overhead exceeds this percentage")
     args = parser.parse_args(argv)
 
     if args.jobs_list:
@@ -75,6 +79,15 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: instrumentation overhead {overhead:.1f}% exceeds "
                 f"the {args.max_observability_overhead:.1f}% budget",
+                file=sys.stderr,
+            )
+            return 1
+    if args.max_checkpoint_overhead is not None:
+        overhead = doc["checkpoint"]["overhead_pct"]
+        if overhead > args.max_checkpoint_overhead:
+            print(
+                f"FAIL: checkpoint overhead {overhead:.1f}% exceeds "
+                f"the {args.max_checkpoint_overhead:.1f}% budget",
                 file=sys.stderr,
             )
             return 1
