@@ -14,8 +14,15 @@ Commands:
 * ``run-trace`` — simulate a text op-trace file
 * ``trace``     — Chrome/Perfetto trace of one cell (observability bus)
 * ``sweep``     — hardened suite sweep (journal, retries, fault injection)
+* ``worker``    — one durable-work-queue worker (``sweep --backend queue``)
 * ``bench``     — time the sweep serial vs ``--jobs N`` (BENCH_sweep.json)
 * ``inspect``   — partial speedup stack of an engine checkpoint file
+
+``stack``, ``sweep`` and ``worker`` drain gracefully on SIGINT/SIGTERM:
+in-flight work is finished or checkpointed, journals/leases are
+finalized, and the process exits with a distinct code (95 for
+interrupted runs, 75 for drained workers — see
+``repro.robustness.drain``).
 
 Global flags: ``-v``/``-vv`` raise the stdlib-logging verbosity to
 INFO/DEBUG, ``--log-json`` switches stderr logging to one JSON object
@@ -82,6 +89,14 @@ from repro.observability import (
 )
 from repro.observability.events import EventBus
 from repro.parallel import cells_from_sweep, run_parallel_sweep
+from repro.queue import run_queue_sweep, run_worker
+from repro.robustness.drain import (
+    EXIT_DRAINED,
+    EXIT_INTERRUPTED,
+    DrainController,
+    DrainRequested,
+    DrainableHook,
+)
 from repro.robustness.faults import FAULT_KINDS, make_fault
 from repro.robustness.journal import SweepJournal
 from repro.sim.engine import Simulation
@@ -127,6 +142,13 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _report_interrupted(exc: DrainRequested) -> int:
+    """Uniform CLI surface for a graceful drain (exit code 95)."""
+    saved = "; checkpoint saved — resume to continue" if exc.saved else ""
+    print(f"interrupted ({exc.reason}){saved}", file=sys.stderr)
+    return EXIT_INTERRUPTED
+
+
 def cmd_stack(args) -> int:
     spec = by_name(args.benchmark)
     experiment = _load_experiment(args)
@@ -136,8 +158,18 @@ def cmd_stack(args) -> int:
         print("error: --checkpoint-every needs --checkpoint (or "
               "--resume-from, which re-saves in place)", file=sys.stderr)
         return 2
-    if args.resume_from:
-        return _stack_resume(args, spec, experiment)
+    drain = DrainController().install()
+    try:
+        if args.resume_from:
+            return _stack_resume(args, spec, experiment, drain)
+        return _stack_run(args, spec, experiment, drain)
+    except DrainRequested as exc:
+        return _report_interrupted(exc)
+    finally:
+        drain.uninstall()
+
+
+def _stack_run(args, spec, experiment, drain) -> int:
     n_threads = (
         args.threads if args.threads is not None
         else experiment.workload.thread_counts[0]
@@ -170,7 +202,9 @@ def cmd_stack(args) -> int:
             if run.max_cycles is not None or run.livelock_window is not None
             else "raise"
         ),
-        checkpoint=hook,
+        # the drain wrapper turns the engine's checkpoint poll into the
+        # SIGINT/SIGTERM drain point (saving first when --checkpoint)
+        checkpoint=DrainableHook(hook, drain),
     )
     print(render_stack(result.stack))
     print()
@@ -182,7 +216,7 @@ def cmd_stack(args) -> int:
     return 0
 
 
-def _stack_resume(args, spec, experiment) -> int:
+def _stack_resume(args, spec, experiment, drain) -> int:
     """``repro stack --resume-from CKPT``: continue a checkpointed run
     to completion and render the final stack."""
     try:
@@ -231,7 +265,7 @@ def _stack_resume(args, spec, experiment) -> int:
             if max_cycles is not None or livelock_window is not None
             else "raise"
         ),
-        checkpoint=hook,
+        checkpoint=DrainableHook(hook, drain),
     )
     report = sim.accountant.report(mt_result)
     st_result = run_reference(
@@ -432,10 +466,24 @@ def cmd_sweep(args) -> int:
     )
     scale = args.scale if args.scale is not None else workload.scale
     jobs = args.jobs if args.jobs is not None else run.jobs
+    backend = args.backend
+    if backend == "queue" and not args.queue_dir:
+        print("error: --backend queue needs --queue-dir", file=sys.stderr)
+        return 2
+    if args.queue_dir and backend != "queue":
+        backend = "queue"  # --queue-dir alone implies the queue backend
     #: the machine only deviates from the per-cell paper default when a
     #: config file supplies one
     machine = experiment.machine if args.config else None
     cells = sweep_cells(benchmarks, thread_counts)
+    checkpoint_dir = (
+        args.checkpoint_dir if args.checkpoint_dir is not None
+        else run.checkpoint_dir
+    )
+    if backend == "queue" and checkpoint_dir is None:
+        # queue sweeps always checkpoint: mid-cell crash-resume is the
+        # point of the lease protocol
+        checkpoint_dir = os.path.join(args.queue_dir, "checkpoints")
     policy = RunPolicy(
         on_error=(
             args.on_error if args.on_error is not None else run.on_error
@@ -447,6 +495,11 @@ def cmd_sweep(args) -> int:
             args.backoff if args.backoff is not None else run.backoff_s
         ),
         backoff_factor=run.backoff_factor,
+        backoff_max_s=(
+            args.backoff_max if args.backoff_max is not None
+            else run.backoff_max_s
+        ),
+        backoff_jitter=run.backoff_jitter,
         max_cycles=(
             args.max_cycles if args.max_cycles is not None
             else run.max_cycles
@@ -459,10 +512,7 @@ def cmd_sweep(args) -> int:
             args.checkpoint_every if args.checkpoint_every is not None
             else run.checkpoint_every
         ),
-        checkpoint_dir=(
-            args.checkpoint_dir if args.checkpoint_dir is not None
-            else run.checkpoint_dir
-        ),
+        checkpoint_dir=checkpoint_dir,
     )
     fault_plan = _parse_injections(args.inject)
     journal = SweepJournal(args.journal)
@@ -478,29 +528,56 @@ def cmd_sweep(args) -> int:
             stream=sys.stderr if args.progress else io.StringIO(),
             heartbeat_path=args.heartbeat,
         ).attach(bus)
-    if jobs > 1:
-        report = run_parallel_sweep(
-            cells_from_sweep(
-                cells, scale=scale, fault_kinds=fault_plan, machine=machine
-            ),
-            jobs=jobs,
-            policy=policy,
-            journal=journal,
-            resume=args.resume,
-            bus=bus,
-            metrics=metrics,
-        )
-    else:
-        runner = BatchRunner(
-            policy=policy,
-            scale=scale,
-            journal=journal,
-            fault_plan=fault_plan,
-            bus=bus,
-            metrics=metrics,
-            machine_factory=machine.with_cores if machine is not None else None,
-        )
-        report = runner.run_sweep(cells, resume=args.resume)
+    drain = DrainController().install()
+    try:
+        if backend == "queue":
+            os.makedirs(policy.checkpoint_dir, exist_ok=True)
+            report = run_queue_sweep(
+                cells_from_sweep(
+                    cells, scale=scale, fault_kinds=fault_plan,
+                    machine=machine,
+                ),
+                workers=jobs,
+                policy=policy,
+                journal=journal,
+                resume=args.resume,
+                bus=bus,
+                metrics=metrics,
+                queue_dir=args.queue_dir,
+                lease_ttl_s=args.lease_ttl,
+                poison_after=args.poison_after,
+                drain=drain,
+            )
+        elif jobs > 1:
+            report = run_parallel_sweep(
+                cells_from_sweep(
+                    cells, scale=scale, fault_kinds=fault_plan,
+                    machine=machine,
+                ),
+                jobs=jobs,
+                policy=policy,
+                journal=journal,
+                resume=args.resume,
+                bus=bus,
+                metrics=metrics,
+                drain=drain,
+            )
+        else:
+            runner = BatchRunner(
+                policy=policy,
+                scale=scale,
+                journal=journal,
+                fault_plan=fault_plan,
+                bus=bus,
+                metrics=metrics,
+                machine_factory=(
+                    machine.with_cores if machine is not None else None
+                ),
+                drain=drain,
+            )
+            report = runner.run_sweep(cells, resume=args.resume)
+    finally:
+        drain.uninstall()
     if metrics is not None:
         metrics.write(args.emit_metrics)
         print(f"metrics written to {args.emit_metrics}")
@@ -523,8 +600,35 @@ def cmd_sweep(args) -> int:
     if not report.ok:
         print()
         print(report.render_failure_report())
-        return 1
-    return 0
+    if report.interrupted:
+        journal.save()  # durable even when zero cells completed
+        not_run = len(cells) - len(report.outcomes)
+        print(f"interrupted: journal finalized, {not_run} cell(s) not "
+              f"run — re-run with --resume to finish", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    return 0 if report.ok else 1
+
+
+def cmd_worker(args) -> int:
+    """``repro worker <queue-dir>``: one queue worker process.
+
+    Exits 0 when every cell of the queue is terminal, 75
+    (:data:`~repro.robustness.drain.EXIT_DRAINED`) when drained by
+    SIGTERM/SIGINT after releasing its lease.
+    """
+    drain = DrainController().install()
+    try:
+        return run_worker(
+            args.queue_dir,
+            worker_id=args.worker_id,
+            drain=drain,
+            poll_s=args.poll,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        drain.uninstall()
 
 
 def cmd_bench(args) -> int:
@@ -745,6 +849,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra attempts per cell with --on-error retry")
     p.add_argument("--backoff", type=float, default=None,
                    help="initial retry backoff in seconds")
+    p.add_argument("--backoff-max", type=float, default=None,
+                   help="hard cap on any single retry delay in seconds "
+                        "(default 60; growth is jittered)")
     p.add_argument("--max-cycles", type=int, default=None,
                    help="watchdog: truncate runs past this simulated time")
     p.add_argument("--livelock-window", type=int, default=None,
@@ -772,7 +879,37 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="CYCLES",
                    help="periodic save interval in simulated cycles "
                         "(needs --checkpoint-dir)")
+    p.add_argument("--backend", choices=("process", "queue"),
+                   default="process",
+                   help="execution backend: 'process' (in-process pool) "
+                        "or 'queue' (durable work queue with leased "
+                        "cells; needs --queue-dir)")
+    p.add_argument("--queue-dir", metavar="DIR", default=None,
+                   help="durable work-queue directory (implies "
+                        "--backend queue); workers lease cells from it "
+                        "and crash-resume via checkpoints")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="queue lease TTL; a worker silent this long "
+                        "loses its cell to the reclaimer (default 30)")
+    p.add_argument("--poison-after", type=int, default=3,
+                   metavar="N",
+                   help="quarantine a cell after N expired leases "
+                        "(default 3)")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "worker",
+        help="run one work-queue worker (see sweep --backend queue)",
+    )
+    p.add_argument("queue_dir", help="queue directory to attach to")
+    p.add_argument("--worker-id", default=None,
+                   help="stable worker name for leases and heartbeats "
+                        "(default: worker-<pid>)")
+    p.add_argument("--poll", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="idle poll interval (default 0.05)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "bench",

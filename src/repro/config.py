@@ -318,6 +318,13 @@ class RunConfig:
     max_retries: int = 2
     backoff_s: float = 0.0
     backoff_factor: float = 2.0
+    #: cap on any single retry delay (the geometric growth is otherwise
+    #: unbounded); None = uncapped
+    backoff_max_s: float | None = 60.0
+    #: full jitter: each retry delay is drawn uniformly from
+    #: [0, capped delay], seeded per (cell, attempt) — decorrelates
+    #: concurrent workers without sacrificing determinism
+    backoff_jitter: bool = True
     #: engine watchdog limits; None = unarmed
     max_cycles: int | None = None
     livelock_window: int | None = None
@@ -341,6 +348,12 @@ class RunConfig:
             )
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s is not None and self.backoff_max_s < 0:
+            raise ValueError("backoff_max_s must be >= 0")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:

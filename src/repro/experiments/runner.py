@@ -25,7 +25,9 @@ one bad (benchmark, N) cell never kills a sweep.  See
 from __future__ import annotations
 
 import logging
+import random
 import time
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -55,6 +57,7 @@ from repro.observability.events import (
     SweepStarted,
 )
 from repro.observability.metrics import harvest_cell_metrics
+from repro.robustness.drain import DrainableHook, DrainRequested
 from repro.robustness.faults import CellFault, make_fault
 from repro.robustness.journal import SweepJournal
 from repro.sim.engine import SimResult, Simulation
@@ -242,6 +245,15 @@ class RunPolicy:
     * ``"retry"`` — re-run the cell up to ``max_retries`` extra times
       with exponential backoff, then record the failure and move on.
 
+    Retry backoff grows geometrically from ``backoff_s`` by
+    ``backoff_factor`` per attempt, capped at ``backoff_max_s`` (the
+    uncapped growth of earlier versions was a footgun: ten retries at
+    factor 2 sleep for 17 minutes).  With ``backoff_jitter`` (default)
+    each delay is drawn uniformly from ``[0, capped]`` — *full jitter*,
+    which decorrelates many workers retrying concurrently (the
+    thundering-herd fix) — seeded from the cell key and attempt number
+    so every delay is still deterministic and reproducible.
+
     ``max_cycles`` / ``livelock_window`` arm the engine watchdog for
     every run of the sweep; watchdog hits *truncate* (flagged partial
     results) rather than fail.
@@ -260,6 +272,10 @@ class RunPolicy:
     max_retries: int = 2
     backoff_s: float = 0.0
     backoff_factor: float = 2.0
+    #: hard ceiling on any single retry delay; None = uncapped
+    backoff_max_s: float | None = 60.0
+    #: full jitter: draw each delay uniformly from [0, capped delay]
+    backoff_jitter: bool = True
     max_cycles: int | None = None
     livelock_window: int | None = None
     checkpoint_every: int | None = None
@@ -272,8 +288,34 @@ class RunPolicy:
             )
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s is not None and self.backoff_max_s < 0:
+            raise ValueError("backoff_max_s must be >= 0")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+
+    def backoff_delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to sleep before ``attempt`` (the second attempt is
+        ``attempt=2``) of the cell identified by ``key``.
+
+        Deterministic: the jitter RNG is seeded from ``(key, attempt)``,
+        so a retried cell backs off identically in a serial sweep, a
+        ``--jobs N`` worker, and a queue worker — which keeps the
+        differential suites and the observability event streams stable
+        while still decorrelating *different* cells retrying at once.
+        """
+        if attempt <= 1 or self.backoff_s <= 0:
+            return 0.0
+        delay = self.backoff_s * self.backoff_factor ** (attempt - 2)
+        if self.backoff_max_s is not None:
+            delay = min(delay, self.backoff_max_s)
+        if self.backoff_jitter:
+            seed = zlib.crc32(f"{key}:{attempt}".encode())
+            delay = random.Random(seed).uniform(0.0, delay)
+        return delay
 
     @classmethod
     def from_run(cls, run: RunConfig) -> "RunPolicy":
@@ -285,6 +327,8 @@ class RunPolicy:
             max_retries=run.max_retries,
             backoff_s=run.backoff_s,
             backoff_factor=run.backoff_factor,
+            backoff_max_s=run.backoff_max_s,
+            backoff_jitter=run.backoff_jitter,
             max_cycles=run.max_cycles,
             livelock_window=run.livelock_window,
             checkpoint_every=run.checkpoint_every,
@@ -318,6 +362,9 @@ class SweepReport:
     """Aggregated outcome of a whole sweep."""
 
     outcomes: list[CellOutcome] = field(default_factory=list)
+    #: True when the sweep stopped early on a drain signal: every
+    #: recorded outcome is final (journaled), the rest never ran
+    interrupted: bool = False
 
     @property
     def completed(self) -> list[CellOutcome]:
@@ -404,12 +451,21 @@ class BatchRunner:
         bus=None,
         metrics=None,
         experiment: ExperimentConfig | None = None,
+        drain=None,
     ) -> None:
         """``experiment`` supplies defaults for everything it covers —
         the policy (from ``experiment.run``), the scale (from
         ``experiment.workload``) and the machine factory (from
         ``experiment.machine``, re-cored per cell); an explicit
         ``policy``/``scale``/``machine_factory`` argument still wins.
+
+        ``drain`` (a :class:`~repro.robustness.drain.DrainController`)
+        makes the runner signal-aware: a drain stops the sweep between
+        cells, and mid-cell the in-flight run checkpoints (when
+        checkpointing is armed) and unwinds via
+        :class:`~repro.robustness.drain.DrainRequested` — nothing is
+        recorded for the interrupted cell, so a resumed sweep re-runs
+        it from its checkpoint.
         """
         if experiment is not None:
             policy = policy or RunPolicy.from_run(experiment.run)
@@ -428,6 +484,9 @@ class BatchRunner:
         #: ``sim.*`` metrics are absorbed here and journaled, and
         #: ``runtime.*`` wall-time/retry metrics accumulate alongside
         self.metrics = metrics
+        #: optional DrainController: polled between cells and (via the
+        #: checkpoint hook) once per engine scheduling step mid-cell
+        self.drain = drain
         self._machine_factory = machine_factory or (
             lambda n_threads: MachineConfig(n_cores=n_threads)
         )
@@ -463,7 +522,6 @@ class BatchRunner:
         if fault is not None and bus is not None:
             bus.emit(FaultArmed(key, fault_kind or "fault"))
         attempts = 0
-        delay = policy.backoff_s
         last_error: BaseException | None = None
         max_attempts = (
             1 + policy.max_retries if policy.on_error == "retry" else 1
@@ -472,6 +530,7 @@ class BatchRunner:
         while attempts < max_attempts:
             attempts += 1
             if attempts > 1:
+                delay = policy.backoff_delay(attempts, key)
                 if bus is not None:
                     bus.emit(CellRetry(
                         key, attempts, delay, str(last_error)
@@ -484,7 +543,6 @@ class BatchRunner:
                         key, attempts, max_attempts, delay,
                     )
                     self._sleep(delay)
-                    delay *= policy.backoff_factor
             elif bus is not None:
                 bus.emit(CellStarted(key, attempts))
             try:
@@ -564,7 +622,7 @@ class BatchRunner:
         st_result = self._st_reference(spec, machine)
         ts = None if st_result.truncated else st_result.total_cycles
         sim = None
-        if hook is not None and hook.path.exists():
+        if hook is not None and hook.path is not None and hook.path.exists():
             sim = self._try_resume(hook, spec)
         if sim is not None:
             mt_result = sim.run(
@@ -583,7 +641,7 @@ class BatchRunner:
                 bus=self.bus,
                 checkpoint=hook,
             )
-        if hook is not None and not mt_result.truncated:
+        if hook is not None and hook.path is not None and not mt_result.truncated:
             # clean completion: the checkpoint has nothing left to
             # resume (truncated runs keep theirs for inspect/resume
             # under raised watchdog limits)
@@ -609,9 +667,17 @@ class BatchRunner:
         replay identity; its hash gates resume, so a checkpoint from a
         different attempt (the injector RNG advances per application) or
         a different experiment config is ignored rather than resumed.
+
+        With a drain controller attached the (possibly absent) hook is
+        wrapped in a :class:`~repro.robustness.drain.DrainableHook`, so
+        the engine's once-per-step checkpoint poll doubles as the
+        drain point: a signal checkpoints the in-flight cell (when a
+        checkpoint target exists) and unwinds cleanly mid-run.
         """
         policy = self.policy
         if policy.checkpoint_dir is None:
+            if self.drain is not None:
+                return DrainableHook(None, self.drain)
             return None
         if fault_info is None:
             fault_desc = None
@@ -630,11 +696,14 @@ class BatchRunner:
             Path(policy.checkpoint_dir)
             / f"{spec.full_name}_n{n_threads}.ckpt"
         )
-        return CheckpointHook(path, descriptor, CheckpointPolicy(
+        hook = CheckpointHook(path, descriptor, CheckpointPolicy(
             every_cycles=policy.checkpoint_every,
             on_watchdog=True,
             on_fault=True,
         ))
+        if self.drain is not None:
+            return DrainableHook(hook, self.drain)
+        return hook
 
     def _try_resume(self, hook: CheckpointHook, spec: BenchmarkSpec):
         """Resume the cell's simulation from its on-disk checkpoint, or
@@ -697,12 +766,26 @@ class BatchRunner:
         ``ok`` are skipped (status ``"resumed"``); failed and unseen
         cells run normally — so a re-run after a partial sweep touches
         only what is missing.
+
+        With a drain controller attached, a SIGINT/SIGTERM stops the
+        sweep at the next cell boundary (mid-cell the engine
+        checkpoints first when checkpointing is armed); the journal
+        already holds every finished cell, so ``--resume`` continues
+        exactly where the drain cut in.  The report comes back with
+        ``interrupted=True``.
         """
         report = SweepReport()
         if self.bus is not None:
             self.bus.emit(SweepStarted(len(cells), 1))
         for spec, n_threads in cells:
             name = spec.full_name
+            if self.drain is not None and self.drain.requested:
+                report.interrupted = True
+                logger.warning(
+                    "drain: stopping sweep with %d cell(s) not run",
+                    len(cells) - len(report.outcomes),
+                )
+                break
             if resume and self.journal.completed(name, n_threads):
                 logger.info("resume: skipping completed cell %s:%d",
                             name, n_threads)
@@ -717,7 +800,19 @@ class BatchRunner:
                     ))
                 continue
             logger.info("running cell %s:%d", name, n_threads)
-            outcome = self.run_cell(spec, n_threads)
+            try:
+                outcome = self.run_cell(spec, n_threads)
+            except DrainRequested as exc:
+                # nothing is journaled for the interrupted cell: its
+                # checkpoint (when armed) carries the partial run, and
+                # a --resume re-runs it from there
+                report.interrupted = True
+                logger.warning(
+                    "drain (%s): cell %s:%d interrupted%s",
+                    exc.reason, name, n_threads,
+                    " after a checkpoint save" if exc.saved else "",
+                )
+                break
             if outcome.status == CELL_OK:
                 assert outcome.result is not None
                 self.journal.record_ok(

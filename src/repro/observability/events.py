@@ -219,6 +219,39 @@ class WorkerCrashed:
     suspects: tuple[str, ...]
 
 
+# ----------------------------------------------------------------------
+# work-queue events (lease frequency — emitted by the queue driver)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeaseExpired:
+    """A worker's lease on a cell outlived its TTL (the worker was
+    killed, hung, or its heartbeat stalled) and was reclaimed."""
+
+    key: str
+    worker: str
+    expiries: int
+
+
+@dataclass(frozen=True)
+class CellRequeued:
+    """A reclaimed or released cell went back to the pending queue,
+    claimable after ``delay_s`` of (jittered) backoff."""
+
+    key: str
+    delay_s: float
+
+
+@dataclass(frozen=True)
+class CellQuarantined:
+    """A poison cell: it expired ``expiries`` leases in a row and was
+    pulled from circulation with its post-mortem attached."""
+
+    key: str
+    expiries: int
+
+
 #: every event type, for subscribe-to-everything consumers and docs
 EVENT_TYPES = (
     SimStarted,
@@ -239,6 +272,9 @@ EVENT_TYPES = (
     CellFinished,
     FaultArmed,
     WorkerCrashed,
+    LeaseExpired,
+    CellRequeued,
+    CellQuarantined,
 )
 
 

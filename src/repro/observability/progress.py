@@ -33,9 +33,12 @@ import time
 
 from repro.observability.events import (
     CellFinished,
+    CellQuarantined,
+    CellRequeued,
     CellRetry,
     CellStarted,
     EventBus,
+    LeaseExpired,
     SweepFinished,
     SweepStarted,
     WorkerCrashed,
@@ -78,6 +81,9 @@ class ProgressReporter:
         self.resumed = 0
         self.retries = 0
         self.crashes = 0
+        self.lease_expiries = 0
+        self.requeues = 0
+        self.quarantined = 0
 
     # -- bus wiring -----------------------------------------------------
 
@@ -88,6 +94,9 @@ class ProgressReporter:
         (CellRetry, "_on_cell_retry"),
         (CellFinished, "_on_cell_finished"),
         (WorkerCrashed, "_on_worker_crashed"),
+        (LeaseExpired, "_on_lease_expired"),
+        (CellRequeued, "_on_cell_requeued"),
+        (CellQuarantined, "_on_cell_quarantined"),
     )
 
     def attach(self, bus: EventBus) -> "ProgressReporter":
@@ -154,6 +163,28 @@ class ProgressReporter:
             self.crashes += 1
         self._emit(f"worker crashed ({len(event.suspects)} cells suspect)")
 
+    def _on_lease_expired(self, event) -> None:
+        with self._lock:
+            self.lease_expiries += 1
+            # the cell is no longer making progress under that worker
+            self._running.pop(event.key, None)
+        self._emit(
+            f"lease expired {event.key} "
+            f"(worker {event.worker}, expiry #{event.expiries})"
+        )
+
+    def _on_cell_requeued(self, event) -> None:
+        with self._lock:
+            self.requeues += 1
+        self._emit(f"requeued {event.key} (+{event.delay_s:.1f}s backoff)")
+
+    def _on_cell_quarantined(self, event) -> None:
+        with self._lock:
+            self.quarantined += 1
+        self._emit(
+            f"quarantined {event.key} after {event.expiries} lease expiries"
+        )
+
     # -- output ---------------------------------------------------------
 
     def _emit(self, what: str, final: bool = False) -> None:
@@ -182,6 +213,12 @@ class ProgressReporter:
             parts.append(f"retries={self.retries}")
         if self.crashes:
             parts.append(f"crashes={self.crashes}")
+        if self.lease_expiries:
+            parts.append(f"expiries={self.lease_expiries}")
+        if self.requeues:
+            parts.append(f"requeues={self.requeues}")
+        if self.quarantined:
+            parts.append(f"quarantined={self.quarantined}")
         line = " ".join(parts) + f" | {what}"
         if self._running:
             active = ", ".join(
@@ -215,6 +252,9 @@ class ProgressReporter:
             "resumed": self.resumed,
             "retries": self.retries,
             "worker_crashes": self.crashes,
+            "lease_expiries": self.lease_expiries,
+            "requeues": self.requeues,
+            "quarantined": self.quarantined,
             "jobs": self.jobs,
             "active": {
                 key: round(now - t, 3)

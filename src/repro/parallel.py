@@ -320,7 +320,8 @@ def _execute_cells(
     policy: RunPolicy,
     collect_metrics: bool = False,
     bus=None,
-) -> dict[int, CellResult]:
+    drain=None,
+) -> tuple[dict[int, CellResult], bool]:
     """Run cells on a pool; survive worker deaths by rebuilding it.
 
     When a worker dies, *every* unfinished future fails with
@@ -333,8 +334,15 @@ def _execute_cells(
     failure once it exhausts the policy's retry budget, innocent
     bystanders just finish — while the still-queued remainder is
     resubmitted to a rebuilt shared pool.
+
+    ``drain`` (a :class:`~repro.robustness.drain.DrainController`)
+    makes the pool signal-aware: on a drain request, queued cells are
+    cancelled, in-flight cells run to completion (pool workers cannot
+    be unwound mid-cell), and the second element of the returned tuple
+    is True — collected results cover exactly the cells that finished.
     """
     results: dict[int, CellResult] = {}
+    interrupted = False
     max_crash_attempts = 1 + (
         policy.max_retries if policy.on_error == "retry" else 0
     )
@@ -373,6 +381,18 @@ def _execute_cells(
                     )
                 futures.append((index, cell, future))
             for index, cell, future in futures:
+                if (
+                    not interrupted
+                    and drain is not None and drain.requested
+                ):
+                    interrupted = True
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    logger.warning(
+                        "drain: cancelled queued cells; waiting for "
+                        "in-flight cells to finish"
+                    )
+                if interrupted and future.cancelled():
+                    continue
                 try:
                     results[index] = future.result()
                 except BrokenExecutor:
@@ -380,6 +400,8 @@ def _execute_cells(
                         suspects.append((index, cell))
                     else:
                         requeue.append((index, cell))
+        if interrupted:
+            return results, True
         if suspects:
             logger.warning(
                 "worker pool broke; quarantining %d suspect cell(s), "
@@ -398,7 +420,7 @@ def _execute_cells(
                     cell.key, results[index].status, results[index].attempts
                 ))
         queue = requeue
-    return results
+    return results, interrupted
 
 
 def run_parallel_sweep(
@@ -409,6 +431,7 @@ def run_parallel_sweep(
     resume: bool = False,
     bus=None,
     metrics=None,
+    drain=None,
 ) -> SweepReport:
     """Fan a sweep out over ``jobs`` worker processes.
 
@@ -428,6 +451,11 @@ def run_parallel_sweep(
     journaling stays in submission order.  ``metrics`` turns on
     worker-side harvest: each ok cell's ``sim.*`` dict is absorbed into
     the registry and journaled, exactly as the serial runner does.
+
+    ``drain`` makes the sweep signal-aware: a SIGINT/SIGTERM cancels
+    the queued cells, lets in-flight cells finish, journals everything
+    that completed, and returns with ``report.interrupted`` set — a
+    ``--resume`` re-run finishes the rest.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -452,17 +480,22 @@ def run_parallel_sweep(
             outcomes.append(None)
             pending.append((index, cell))
 
-    results = _execute_cells(
+    results, interrupted = _execute_cells(
         pending, jobs, policy,
-        collect_metrics=metrics is not None, bus=bus,
+        collect_metrics=metrics is not None, bus=bus, drain=drain,
     )
 
-    report = SweepReport()
+    report = SweepReport(interrupted=interrupted)
     for index, outcome in enumerate(outcomes):
         if outcome is not None:  # resumed
             report.outcomes.append(outcome)
             continue
-        result = results[index]
+        result = results.get(index)
+        if result is None:
+            # drained before this cell ran: nothing to journal; a
+            # --resume re-run picks it up
+            report.interrupted = True
+            continue
         if result.status == CELL_FAILED and policy.on_error == "abort":
             # match the serial runner: abort raises before the failing
             # cell's record hits the journal

@@ -114,8 +114,12 @@ class TestRetries:
             return program, machine
 
         sleeps = []
+        policy = RunPolicy(
+            on_error="retry", max_retries=2, backoff_s=0.25,
+            backoff_jitter=False,
+        )
         runner = BatchRunner(
-            policy=RunPolicy(on_error="retry", max_retries=2, backoff_s=0.25),
+            policy=policy,
             fault_plan={"tiny:2": transient},
             sleep=sleeps.append,
         )
@@ -129,7 +133,7 @@ class TestRetries:
         runner = BatchRunner(
             policy=RunPolicy(
                 on_error="retry", max_retries=2,
-                backoff_s=0.5, backoff_factor=3.0,
+                backoff_s=0.5, backoff_factor=3.0, backoff_jitter=False,
             ),
             fault_plan={"tiny:2": make_fault("deadlock")},
             sleep=sleeps.append,
@@ -137,7 +141,51 @@ class TestRetries:
         outcome = runner.run_cell(tiny_spec, 2)
         assert outcome.status == CELL_FAILED
         assert outcome.attempts == 3
-        assert sleeps == [0.5, 1.5]  # exponential backoff
+        assert sleeps == [0.5, 1.5]  # exponential backoff (no jitter)
+
+    def test_jittered_backoff_is_deterministic_and_capped(self, tiny_spec):
+        """Default policy: full jitter in [0, capped delay], seeded from
+        (cell key, attempt) — reproducible everywhere, bounded above."""
+        sleeps = []
+        runner = BatchRunner(
+            policy=RunPolicy(
+                on_error="retry", max_retries=2,
+                backoff_s=0.5, backoff_factor=3.0,
+            ),
+            fault_plan={"tiny:2": make_fault("deadlock")},
+            sleep=sleeps.append,
+        )
+        outcome = runner.run_cell(tiny_spec, 2)
+        assert outcome.status == CELL_FAILED
+        policy = runner.policy
+        assert sleeps == [
+            policy.backoff_delay(2, "tiny:2"),
+            policy.backoff_delay(3, "tiny:2"),
+        ]
+        assert all(0.0 <= s for s in sleeps)
+        assert sleeps[0] <= 0.5 and sleeps[1] <= 1.5
+
+    def test_backoff_cap(self):
+        policy = RunPolicy(
+            on_error="retry", backoff_s=1.0, backoff_factor=10.0,
+            backoff_max_s=5.0, backoff_jitter=False,
+        )
+        assert policy.backoff_delay(2, "x") == 1.0
+        assert policy.backoff_delay(3, "x") == 5.0   # capped from 10
+        assert policy.backoff_delay(9, "x") == 5.0   # stays capped
+        uncapped = RunPolicy(
+            on_error="retry", backoff_s=1.0, backoff_factor=10.0,
+            backoff_max_s=None, backoff_jitter=False,
+        )
+        assert uncapped.backoff_delay(3, "x") == 10.0
+
+    def test_backoff_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="backoff_max_s"):
+            RunPolicy(backoff_max_s=-1.0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RunPolicy(backoff_factor=0.5)
 
     def test_skip_mode_never_retries(self, tiny_spec):
         sleeps = []
