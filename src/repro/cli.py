@@ -88,7 +88,11 @@ from repro.observability import (
     trace_cell,
 )
 from repro.observability.events import EventBus
-from repro.parallel import cells_from_sweep, run_parallel_sweep
+from repro.parallel import (
+    ChunkingPolicy,
+    cells_from_sweep,
+    run_parallel_sweep,
+)
 from repro.queue import run_queue_sweep, run_worker
 from repro.robustness.drain import (
     EXIT_DRAINED,
@@ -561,6 +565,10 @@ def cmd_sweep(args) -> int:
                 bus=bus,
                 metrics=metrics,
                 drain=drain,
+                chunking=(
+                    ChunkingPolicy(chunk_cells=args.chunk_cells)
+                    if args.chunk_cells is not None else None
+                ),
             )
         else:
             runner = BatchRunner(
@@ -863,6 +871,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-j", "--jobs", type=int, default=None,
                    help="worker processes for the sweep (default 1: "
                         "serial in-process execution)")
+    p.add_argument("--chunk-cells", type=int, default=None,
+                   help="fixed cells per dispatch chunk for --jobs > 1 "
+                        "(default: adaptive sizing by estimated cell "
+                        "cost); any value yields byte-identical journals")
     p.add_argument("--emit-metrics", metavar="PATH", default=None,
                    help="collect per-cell sim/runtime metrics and write "
                         "the aggregated registry JSON here")

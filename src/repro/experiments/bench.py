@@ -32,7 +32,12 @@ from repro.checkpoint import (
 from repro.experiments.runner import BatchRunner, RunPolicy, run_accounted
 from repro.observability import MetricsRegistry, TimelineRecorder
 from repro.observability.events import EventBus
-from repro.parallel import cells_from_sweep, run_parallel_sweep
+from repro.parallel import (
+    ChunkingPolicy,
+    cells_from_sweep,
+    plan_chunks,
+    run_parallel_sweep,
+)
 from repro.robustness.journal import SweepJournal
 from repro.sim.engine import Simulation
 from repro.config import MachineConfig
@@ -56,6 +61,14 @@ FF_THREADS = 4
 #: a save-path regression under a percentage gate
 CKPT_SCALE = 1.0
 CKPT_INTERVAL = 50_000
+
+#: the warm-worker acceptance gate: parallel sweeps must beat serial by
+#: this factor at this jobs level — but only on hosts with enough cores
+#: to make the comparison meaningful (a 1-core container physically
+#: cannot show a parallel speedup; the doc records the gate as
+#: unenforced there instead of reporting a bogus failure)
+WARM_GATE_JOBS = 4
+WARM_GATE_MIN_SPEEDUP = 1.5
 
 
 def _timed_sweep(cells, scale, policy, jobs, repeats):
@@ -252,6 +265,72 @@ def _bench_checkpoint(max_cycles, repeats):
     }
 
 
+def _chunk_plan_stats(cells, scale, jobs) -> dict:
+    """Describe the deterministic chunk plan a ``--jobs N`` sweep uses.
+
+    Pure planning — no timing — so the doc shows how the dispatcher
+    groups this sweep's cells (how much per-task overhead amortizes,
+    how balanced the estimated costs are) on any host.
+    """
+    pending = list(enumerate(cells_from_sweep(cells, scale=scale)))
+    chunks = plan_chunks(pending, jobs, ChunkingPolicy())
+    sizes = [len(chunk.cells) for chunk in chunks]
+    costs = [chunk.est_cost for chunk in chunks]
+    return {
+        "jobs": jobs,
+        "n_chunks": len(chunks),
+        "cells_per_chunk_min": min(sizes),
+        "cells_per_chunk_max": max(sizes),
+        "cells_per_chunk_mean": round(sum(sizes) / len(sizes), 2),
+        "est_cost_imbalance": round(
+            max(costs) / (sum(costs) / len(costs)), 3
+        ),
+    }
+
+
+def _warm_workers_section(cells, scale, runs) -> dict:
+    """Summarize the warm-worker results already measured in ``runs``
+    and evaluate the speedup gate (no extra timing).
+
+    ``gate.enforced`` is False when the host has fewer cores than the
+    gate's jobs level; ``gate.met`` is None in that case (unknowable
+    here), so downstream checks (``tools/bench_sweep.py --min-warm-
+    speedup``) can distinguish "failed" from "host can't tell".
+    """
+    cpu_count = os.cpu_count() or 1
+    parallel_runs = [r for r in runs if r["jobs"] > 1]
+    gate_run = next(
+        (r for r in parallel_runs if r["jobs"] == WARM_GATE_JOBS), None
+    )
+    enforced = cpu_count >= WARM_GATE_JOBS and gate_run is not None
+    return {
+        "dispatch": "persistent pool, chunked cells, canonical-JSON "
+                    "results, per-worker warm caches",
+        "runs": [
+            {
+                "jobs": r["jobs"],
+                "speedup_vs_serial": r["speedup_vs_serial"],
+                "chunk_plan": _chunk_plan_stats(cells, scale, r["jobs"]),
+            }
+            for r in parallel_runs
+        ],
+        "gate": {
+            "jobs": WARM_GATE_JOBS,
+            "min_speedup": WARM_GATE_MIN_SPEEDUP,
+            "enforced": enforced,
+            "met": (
+                gate_run["speedup_vs_serial"] >= WARM_GATE_MIN_SPEEDUP
+                if enforced else None
+            ),
+            "note": (
+                None if cpu_count >= WARM_GATE_JOBS else
+                f"host has {cpu_count} CPU(s); gate needs "
+                f">= {WARM_GATE_JOBS} to be meaningful"
+            ),
+        },
+    }
+
+
 def run_bench(
     benchmarks=None,
     thread_counts=DEFAULT_THREADS,
@@ -287,6 +366,7 @@ def run_bench(
             "repeats": repeats,
         },
         "sweep": runs,
+        "warm_workers": _warm_workers_section(cells, scale, runs),
         "engine_fast_forward": _bench_fast_forward(
             scale, max_cycles, repeats
         ),
@@ -311,6 +391,26 @@ def render_bench(doc: dict) -> str:
             f"{run['speedup_vs_serial']:>9.2f}x {run['cells_ok']:>4d} "
             f"{run['cells_failed']:>7d}"
         )
+    warm = doc.get("warm_workers")
+    if warm is not None:
+        gate = warm["gate"]
+        if gate["enforced"]:
+            status = "met" if gate["met"] else "NOT met"
+            verdict = (
+                f"gate >= {gate['min_speedup']}x at --jobs "
+                f"{gate['jobs']}: {status}"
+            )
+        else:
+            verdict = f"gate not enforced ({gate['note']})"
+        for run in warm["runs"]:
+            plan = run["chunk_plan"]
+            lines.append(
+                f"warm workers --jobs {run['jobs']}: "
+                f"{run['speedup_vs_serial']:.2f}x vs serial, "
+                f"{plan['n_chunks']} chunks "
+                f"(~{plan['cells_per_chunk_mean']:.1f} cells each)"
+            )
+        lines.append(f"warm workers: {verdict}")
     ff = doc["engine_fast_forward"]
     lines.append(
         f"engine fast-forward ({ff['cell']}): "

@@ -37,6 +37,8 @@ from repro.observability.events import (
     CellRequeued,
     CellRetry,
     CellStarted,
+    ChunkDispatched,
+    ChunkFinished,
     EventBus,
     LeaseExpired,
     SweepFinished,
@@ -84,6 +86,8 @@ class ProgressReporter:
         self.lease_expiries = 0
         self.requeues = 0
         self.quarantined = 0
+        self.chunks_dispatched = 0
+        self.chunks_finished = 0
 
     # -- bus wiring -----------------------------------------------------
 
@@ -93,6 +97,8 @@ class ProgressReporter:
         (CellStarted, "_on_cell_started"),
         (CellRetry, "_on_cell_retry"),
         (CellFinished, "_on_cell_finished"),
+        (ChunkDispatched, "_on_chunk_dispatched"),
+        (ChunkFinished, "_on_chunk_finished"),
         (WorkerCrashed, "_on_worker_crashed"),
         (LeaseExpired, "_on_lease_expired"),
         (CellRequeued, "_on_cell_requeued"),
@@ -158,6 +164,21 @@ class ProgressReporter:
                 self.failed += 1
         self._emit(f"{event.status} {event.key}")
 
+    def _on_chunk_dispatched(self, event) -> None:
+        with self._lock:
+            self.chunks_dispatched += 1
+        self._emit(
+            f"chunk {event.chunk_id} dispatched ({len(event.keys)} cells)"
+        )
+
+    def _on_chunk_finished(self, event) -> None:
+        with self._lock:
+            self.chunks_finished += 1
+        self._emit(
+            f"chunk {event.chunk_id} finished "
+            f"(ok={event.ok} failed={event.failed})"
+        )
+
     def _on_worker_crashed(self, event) -> None:
         with self._lock:
             self.crashes += 1
@@ -219,6 +240,10 @@ class ProgressReporter:
             parts.append(f"requeues={self.requeues}")
         if self.quarantined:
             parts.append(f"quarantined={self.quarantined}")
+        if self.chunks_dispatched:
+            parts.append(
+                f"chunks={self.chunks_finished}/{self.chunks_dispatched}"
+            )
         line = " ".join(parts) + f" | {what}"
         if self._running:
             active = ", ".join(
@@ -255,6 +280,8 @@ class ProgressReporter:
             "lease_expiries": self.lease_expiries,
             "requeues": self.requeues,
             "quarantined": self.quarantined,
+            "chunks_dispatched": self.chunks_dispatched,
+            "chunks_finished": self.chunks_finished,
             "jobs": self.jobs,
             "active": {
                 key: round(now - t, 3)

@@ -50,7 +50,7 @@ import time
 from repro.checkpoint import read_header
 from repro.errors import CheckpointError
 from repro.experiments.runner import BatchRunner, CELL_OK
-from repro.parallel import CellSpec
+from repro.parallel import CellSpec, WorkerCaches
 from repro.queue.store import Lease, QueueStore
 from repro.robustness.drain import (
     EXIT_DRAINED,
@@ -207,26 +207,25 @@ class QueueWorker:
         self.poll_s = poll_s
         self.metrics = metrics
         self.cells_run = 0
-        self._runner_cache: dict[tuple, _QueueRunner] = {}
+        # the same warm-cache layer pool workers use (runner per
+        # (policy, scale, machine) family, memoized machine parse), so
+        # a queue worker amortizes reference runs and trace decodes
+        # across its claimed cells identically; metrics/drain are
+        # per-worker constants, which is exactly what WorkerCaches
+        # requires of runner kwargs
+        self._caches = WorkerCaches()
 
     # -- cell execution -------------------------------------------------
 
     def _runner(self, cell: CellSpec) -> _QueueRunner:
-        key = (cell.scale, cell.machine_json)
-        runner = self._runner_cache.get(key)
-        if runner is None:
-            machine = cell.machine
-            runner = _QueueRunner(
-                policy=self.store.policy,
-                scale=cell.scale,
-                machine_factory=(
-                    machine.with_cores if machine is not None else None
-                ),
-                metrics=self.metrics,
-                drain=self.drain,
-            )
-            self._runner_cache[key] = runner
-        return runner
+        return self._caches.runner(
+            self.store.policy,
+            cell.scale,
+            cell.machine_json,
+            runner_cls=_QueueRunner,
+            metrics=self.metrics,
+            drain=self.drain,
+        )
 
     def _run_cell(self, lease: Lease) -> dict:
         cell = lease.cell

@@ -2,10 +2,10 @@
 
 The contract of ``repro.parallel`` is *bit-for-bit* equivalence with the
 serial :class:`~repro.experiments.runner.BatchRunner` path at any
-``--jobs`` level: identical speedup-stack components (the Eq. 4
-decomposition), identical Eq. 4 / Eq. 6 scalar metrics, and
-byte-identical journal files — healthy, under injected faults, and
-across a worker kill + ``--resume`` cycle.
+``--jobs`` level **and any chunk shape**: identical speedup-stack
+components (the Eq. 4 decomposition), identical Eq. 4 / Eq. 6 scalar
+metrics, and byte-identical journal files — healthy, under injected
+faults, and across a worker kill + ``--resume`` cycle.
 """
 
 from __future__ import annotations
@@ -18,6 +18,7 @@ from repro.experiments.runner import BatchRunner, RunPolicy
 from repro.parallel import (
     WORKER_CRASH,
     CellSpec,
+    ChunkingPolicy,
     cells_from_sweep,
     run_parallel_sweep,
 )
@@ -33,6 +34,13 @@ POLICY = RunPolicy(on_error="skip", max_cycles=2_000_000)
 
 FAULT_PLAN = {"cholesky:2": "deadlock", "blackscholes_small:2": "mem-spike"}
 
+#: the chunk shapes each differential sweep is repeated under:
+#: single-cell chunks (maximum dispatch overhead, the old one-task-per-
+#: cell behaviour), 3-cell chunks (uneven split of the 6-cell sweep),
+#: one whole-sweep chunk (a single worker runs everything warm), and
+#: the default adaptive plan
+CHUNK_SHAPES = (1, 3, len(BENCHMARKS) * len(THREADS), None)
+
 
 def _cells():
     return sweep_cells(BENCHMARKS, THREADS)
@@ -47,7 +55,9 @@ def _serial(journal_path, fault_plan=None):
     return runner.run_sweep(_cells())
 
 
-def _parallel(journal_path, jobs, fault_plan=None, resume=False):
+def _parallel(
+    journal_path, jobs, fault_plan=None, resume=False, chunk_cells=None
+):
     return run_parallel_sweep(
         cells_from_sweep(_cells(), scale=SCALE,
                          fault_kinds=dict(fault_plan or {})),
@@ -55,6 +65,10 @@ def _parallel(journal_path, jobs, fault_plan=None, resume=False):
         policy=POLICY,
         journal=SweepJournal(str(journal_path)),
         resume=resume,
+        chunking=(
+            ChunkingPolicy(chunk_cells=chunk_cells)
+            if chunk_cells is not None else None
+        ),
     )
 
 
@@ -95,22 +109,27 @@ def serial_run(tmp_path_factory):
     return report, path.read_bytes()
 
 
+@pytest.mark.parametrize("chunk_cells", CHUNK_SHAPES)
 @pytest.mark.parametrize("jobs", [2, 4])
-def test_differential_healthy(serial_run, tmp_path, jobs):
+def test_differential_healthy(serial_run, tmp_path, jobs, chunk_cells):
     serial_report, serial_journal = serial_run
     journal = tmp_path / "journal.json"
-    parallel_report = _parallel(journal, jobs=jobs)
+    parallel_report = _parallel(journal, jobs=jobs, chunk_cells=chunk_cells)
     _assert_equivalent(serial_report, parallel_report)
     assert journal.read_bytes() == serial_journal
 
 
-def test_differential_with_faults(tmp_path):
+@pytest.mark.parametrize("chunk_cells", CHUNK_SHAPES)
+def test_differential_with_faults(tmp_path, chunk_cells):
     """Fault-injected cells fail identically in both execution modes,
-    and the healthy cells around them are untouched."""
+    and the healthy cells around them are untouched — chunking must not
+    leak a fault into the other cells sharing the chunk's worker."""
     s_journal = tmp_path / "serial.json"
     p_journal = tmp_path / "parallel.json"
     serial_report = _serial(s_journal, fault_plan=FAULT_PLAN)
-    parallel_report = _parallel(p_journal, jobs=2, fault_plan=FAULT_PLAN)
+    parallel_report = _parallel(
+        p_journal, jobs=2, fault_plan=FAULT_PLAN, chunk_cells=chunk_cells
+    )
     assert [o.key for o in serial_report.failures] == ["cholesky:2"]
     assert serial_report.failures[0].error_type == "DeadlockError"
     # mem-spike degrades but does not fail the cell

@@ -1,0 +1,155 @@
+"""Property tests for the chunk planner.
+
+The chunking layer is the one place the warm-worker dispatcher could
+silently break the byte-identical-journal contract: a cell planned into
+two chunks would be journaled twice, a dropped cell never, and a
+reordering would shuffle journal records.  These properties pin the
+planner for *any* cell list and *any* cost estimates, not just the
+shapes the differential suite happens to sweep:
+
+* every index appears in exactly one chunk (exact partition);
+* concatenating chunks reproduces the input order (canonical order
+  survives the merge);
+* chunk shape respects the policy (fixed sizes, cell caps, no empties);
+* planning is a pure function of its inputs (identical across calls).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    ChunkingPolicy,
+    cells_from_sweep,
+    estimate_cell_cost,
+    partition_costs,
+    plan_chunks,
+)
+from repro.workloads.suite import sweep_cells
+
+# costs as the planner sees them: non-negative, occasionally zero
+# (synthetic no-op specs) or huge (full-scale cells); NaN/inf excluded —
+# estimate_cell_cost cannot produce them from frozen spec fields
+costs_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=200,
+)
+
+policies = st.one_of(
+    st.builds(
+        ChunkingPolicy,
+        chunk_cells=st.integers(min_value=1, max_value=50),
+    ),
+    st.builds(
+        ChunkingPolicy,
+        chunks_per_job=st.integers(min_value=1, max_value=8),
+        max_chunk_cells=st.integers(min_value=1, max_value=50),
+    ),
+)
+
+jobs_values = st.integers(min_value=1, max_value=16)
+
+
+@settings(max_examples=200, deadline=None)
+@given(costs=costs_lists, jobs=jobs_values, policy=policies)
+def test_exact_partition_in_order(costs, jobs, policy):
+    """Each index lands in exactly one chunk, and flattening the chunks
+    reproduces range(n) — the property in-order journal merging needs."""
+    chunks = partition_costs(costs, jobs, policy)
+    flattened = [index for chunk in chunks for index in chunk]
+    assert flattened == list(range(len(costs)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(costs=costs_lists, jobs=jobs_values, policy=policies)
+def test_chunk_shapes_respect_policy(costs, jobs, policy):
+    chunks = partition_costs(costs, jobs, policy)
+    assert all(chunk for chunk in chunks), "no empty chunks"
+    if policy.chunk_cells is not None:
+        # fixed mode: every chunk full except possibly the last
+        assert all(
+            len(chunk) == policy.chunk_cells for chunk in chunks[:-1]
+        )
+        if chunks:
+            assert 1 <= len(chunks[-1]) <= policy.chunk_cells
+    else:
+        assert all(
+            len(chunk) <= policy.max_chunk_cells for chunk in chunks
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(costs=costs_lists, jobs=jobs_values, policy=policies)
+def test_planning_is_deterministic(costs, jobs, policy):
+    """Same inputs, same plan — across calls and across equal policy
+    instances (the planner must not read clocks, pids or dict order)."""
+    first = partition_costs(costs, jobs, policy)
+    second = partition_costs(list(costs), jobs, ChunkingPolicy(
+        chunk_cells=policy.chunk_cells,
+        chunks_per_job=policy.chunks_per_job,
+        max_chunk_cells=policy.max_chunk_cells,
+    ))
+    assert first == second
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    costs=costs_lists,
+    jobs=jobs_values,
+    chunks_per_job=st.integers(min_value=1, max_value=8),
+)
+def test_adaptive_mode_spreads_work(costs, jobs, chunks_per_job):
+    """Adaptive chunks never exceed the cost target by more than one
+    cell's cost: the greedy cut happens at the first overflow, so chunk
+    cost stays under target + the overflowing cell."""
+    policy = ChunkingPolicy(chunks_per_job=chunks_per_job)
+    chunks = partition_costs(costs, jobs, policy)
+    clamped = [max(1.0, c) for c in costs]
+    if not clamped:
+        assert chunks == []
+        return
+    target = sum(clamped) / (jobs * chunks_per_job)
+    for chunk in chunks:
+        chunk_cost = sum(clamped[i] for i in chunk)
+        assert chunk_cost <= target + clamped[chunk[-1]] or len(chunk) == 1
+
+
+def test_plan_chunks_pairs_cells_with_sweep_indices():
+    """plan_chunks carries the *original* sweep indices through, so a
+    resume-filtered pending list (gaps in the index sequence) still
+    merges back into the right journal slots."""
+    cells = cells_from_sweep(
+        sweep_cells(("cholesky", "facesim_small"), (2, 4)), scale=0.2
+    )
+    # simulate a resume that already completed sweep indices 1 and 2
+    pending = [(i, cell) for i, cell in enumerate(cells) if i not in (1, 2)]
+    chunks = plan_chunks(pending, jobs=2, policy=ChunkingPolicy(chunk_cells=1))
+    planned = [i for chunk in chunks for i, _ in chunk.cells]
+    assert planned == [0, 3]
+    assert [chunk.chunk_id for chunk in chunks] == ["c0", "c1"]
+
+
+def test_plan_chunks_costs_are_estimates_sum():
+    cells = cells_from_sweep(sweep_cells(("cholesky",), (2, 4)), scale=0.2)
+    pending = list(enumerate(cells))
+    (chunk,) = plan_chunks(
+        pending, jobs=1, policy=ChunkingPolicy(chunk_cells=2)
+    )
+    assert chunk.est_cost == pytest.approx(
+        sum(estimate_cell_cost(cell) for cell in cells)
+    )
+    assert chunk.keys == ("cholesky:2", "cholesky:4")
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        ChunkingPolicy(chunk_cells=0)
+    with pytest.raises(ValueError):
+        ChunkingPolicy(chunks_per_job=0)
+    with pytest.raises(ValueError):
+        ChunkingPolicy(max_chunk_cells=0)
+    with pytest.raises(ValueError):
+        partition_costs([1.0], jobs=0)

@@ -53,7 +53,22 @@ def main(argv=None) -> int:
                         default=None, metavar="PCT",
                         help="fail (exit 1) when periodic-checkpointing "
                              "overhead exceeds this percentage")
+    parser.add_argument("--min-warm-speedup", action="append", default=[],
+                        metavar="JOBS:FACTOR",
+                        help="fail (exit 1) when the --jobs JOBS sweep "
+                             "speedup vs serial is below FACTOR; skipped "
+                             "with a note when the host has fewer than "
+                             "JOBS CPUs (repeatable)")
     args = parser.parse_args(argv)
+    warm_gates = []
+    for raw in args.min_warm_speedup:
+        try:
+            jobs_s, factor_s = raw.split(":", 1)
+            warm_gates.append((int(jobs_s), float(factor_s)))
+        except ValueError:
+            parser.error(
+                f"--min-warm-speedup expects JOBS:FACTOR, got {raw!r}"
+            )
 
     if args.jobs_list:
         jobs_list = tuple(int(j) for j in args.jobs_list.split(","))
@@ -88,6 +103,34 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: checkpoint overhead {overhead:.1f}% exceeds "
                 f"the {args.max_checkpoint_overhead:.1f}% budget",
+                file=sys.stderr,
+            )
+            return 1
+    cpu_count = os.cpu_count() or 1
+    speedups = {
+        run["jobs"]: run["speedup_vs_serial"] for run in doc["sweep"]
+    }
+    for jobs, factor in warm_gates:
+        if cpu_count < jobs:
+            # a host without the cores cannot show the speedup; this is
+            # "can't tell", not "failed" — note it and move on
+            print(
+                f"note: skipping --min-warm-speedup {jobs}:{factor:g} "
+                f"(host has {cpu_count} CPU(s), needs >= {jobs})"
+            )
+            continue
+        speedup = speedups.get(jobs)
+        if speedup is None:
+            print(
+                f"FAIL: --min-warm-speedup {jobs}:{factor:g} but "
+                f"--jobs {jobs} was not in the jobs list",
+                file=sys.stderr,
+            )
+            return 1
+        if speedup < factor:
+            print(
+                f"FAIL: --jobs {jobs} speedup {speedup:.2f}x vs serial "
+                f"is below the {factor:g}x gate",
                 file=sys.stderr,
             )
             return 1
