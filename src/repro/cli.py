@@ -16,6 +16,7 @@ Commands:
 * ``sweep``     — hardened suite sweep (journal, retries, fault injection)
 * ``worker``    — one durable-work-queue worker (``sweep --backend queue``)
 * ``bench``     — time the sweep serial vs ``--jobs N`` (BENCH_sweep.json)
+* ``report``    — self-contained HTML health report of a sweep
 * ``inspect``   — partial speedup stack of an engine checkpoint file
 
 ``stack``, ``sweep`` and ``worker`` drain gracefully on SIGINT/SIGTERM:
@@ -84,8 +85,11 @@ from repro.experiments.scenarios import (
 from repro.observability import (
     MetricsRegistry,
     ProgressReporter,
+    SpanRecorder,
     interval_sums,
+    spans_to_trace_events,
     trace_cell,
+    write_report,
 )
 from repro.observability.events import EventBus
 from repro.parallel import (
@@ -400,21 +404,26 @@ def cmd_run_trace(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    # harness spans always ride along as an extra track — the cell is
+    # re-simulated anyway, so there is no baseline run to perturb
+    spans = SpanRecorder()
     result, recorder = trace_cell(
         args.benchmark, args.threads, scale=args.scale,
-        max_cycles=args.max_cycles,
+        max_cycles=args.max_cycles, spans=spans,
     )
     sums = interval_sums(recorder)
     speedup = result.stack.actual_speedup
-    doc = recorder.to_chrome_trace(metadata={
+    doc = json.loads(recorder.to_chrome_trace(metadata={
         "benchmark": args.benchmark,
         "n_threads": args.threads,
         "scale": args.scale,
         "total_cycles": recorder.total_cycles,
         "actual_speedup": speedup,
-    })
+    }))
+    doc["traceEvents"].extend(spans_to_trace_events(spans.to_dicts()))
     with open(args.out, "w") as handle:
-        handle.write(doc)
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
     n_intervals = (
         len(recorder.run_intervals) + len(recorder.spin_segments)
         + len(recorder.yield_intervals) + len(recorder.miss_intervals)
@@ -429,7 +438,8 @@ def cmd_trace(args) -> int:
           f"memory interference "
           f"{sum(sums['interference_by_core'].values())} cy")
     print(f"chrome trace written to {args.out} "
-          f"(load in chrome://tracing or ui.perfetto.dev)")
+          f"(load in chrome://tracing or ui.perfetto.dev; "
+          f"{len(spans)} harness spans on the span track)")
     return 0
 
 
@@ -521,8 +531,9 @@ def cmd_sweep(args) -> int:
     fault_plan = _parse_injections(args.inject)
     journal = SweepJournal(args.journal)
     metrics = MetricsRegistry() if args.emit_metrics else None
+    spans = SpanRecorder() if args.emit_spans else None
     bus = None
-    if args.progress or args.heartbeat:
+    if args.progress or args.heartbeat or args.heartbeat_log:
         bus = EventBus()
         # --heartbeat without --progress keeps stderr quiet but still
         # drives the heartbeat file off the same reporter
@@ -531,6 +542,7 @@ def cmd_sweep(args) -> int:
             jobs=jobs,
             stream=sys.stderr if args.progress else io.StringIO(),
             heartbeat_path=args.heartbeat,
+            heartbeat_log_path=args.heartbeat_log,
         ).attach(bus)
     drain = DrainController().install()
     try:
@@ -547,6 +559,7 @@ def cmd_sweep(args) -> int:
                 resume=args.resume,
                 bus=bus,
                 metrics=metrics,
+                spans=spans,
                 queue_dir=args.queue_dir,
                 lease_ttl_s=args.lease_ttl,
                 poison_after=args.poison_after,
@@ -564,6 +577,7 @@ def cmd_sweep(args) -> int:
                 resume=args.resume,
                 bus=bus,
                 metrics=metrics,
+                spans=spans,
                 drain=drain,
                 chunking=(
                     ChunkingPolicy(chunk_cells=args.chunk_cells)
@@ -578,6 +592,7 @@ def cmd_sweep(args) -> int:
                 fault_plan=fault_plan,
                 bus=bus,
                 metrics=metrics,
+                spans=spans,
                 machine_factory=(
                     machine.with_cores if machine is not None else None
                 ),
@@ -589,6 +604,19 @@ def cmd_sweep(args) -> int:
     if metrics is not None:
         metrics.write(args.emit_metrics)
         print(f"metrics written to {args.emit_metrics}")
+    if spans is not None:
+        rows = spans.to_dicts()
+        with open(args.emit_spans, "w") as handle:
+            json.dump({
+                "metadata": {
+                    "n_cells": len(cells),
+                    "jobs": jobs,
+                    "backend": backend,
+                },
+                "spans": rows,
+            }, handle, indent=1)
+            handle.write("\n")
+        print(f"{len(rows)} spans written to {args.emit_spans}")
     for outcome in report.outcomes:
         if outcome.status == "ok":
             result = outcome.result
@@ -669,6 +697,7 @@ def cmd_bench(args) -> int:
         max_cycles = experiment.run.max_cycles
     else:
         max_cycles = 20_000_000
+    profile = args.profile or args.profile_out is not None
     doc = run_bench(
         benchmarks=benchmarks,
         thread_counts=thread_counts,
@@ -676,11 +705,35 @@ def cmd_bench(args) -> int:
         jobs_list=jobs_list,
         repeats=args.repeats,
         max_cycles=max_cycles,
+        profile=profile,
     )
+    if profile:
+        # the collapsed stacks go to their own file (flamegraph.pl /
+        # speedscope format), not into the JSON document
+        collapsed = doc["profile"].pop("collapsed")
+        profile_out = args.profile_out or "profile_collapsed.txt"
+        with open(profile_out, "w") as handle:
+            handle.write("\n".join(collapsed) + "\n")
     print(render_bench(doc))
+    if profile:
+        print(f"collapsed stacks written to {profile_out}")
     if args.out:
         write_bench(doc, args.out)
         print(f"written to {args.out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """``repro report <journal|queue-dir>``: one-file HTML health report."""
+    try:
+        data = write_report(args.source, args.out)
+    except (ConfigError, FileNotFoundError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cells = data["cells"]
+    ok = sum(1 for c in cells if c["status"] == "ok")
+    print(f"report on {len(cells)} cells ({ok} ok, {data['kind']} "
+          f"source) written to {args.out}")
     return 0
 
 
@@ -878,11 +931,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--emit-metrics", metavar="PATH", default=None,
                    help="collect per-cell sim/runtime metrics and write "
                         "the aggregated registry JSON here")
+    p.add_argument("--emit-spans", metavar="PATH", default=None,
+                   help="record harness phase spans (wall-clock; never "
+                        "journaled) and write them as JSON here; with "
+                        "--backend queue the spans also land on each "
+                        "cell's queue record for `repro report`")
     p.add_argument("--progress", action="store_true",
                    help="live one-line progress + ETA on stderr")
     p.add_argument("--heartbeat", metavar="PATH", default=None,
                    help="write a machine-readable heartbeat JSON here on "
                         "every sweep event")
+    p.add_argument("--heartbeat-log", metavar="PATH", default=None,
+                   help="append every heartbeat as one JSON line here "
+                        "(history, where --heartbeat keeps latest only)")
     p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                    help="save per-cell engine checkpoints under this "
                         "directory; crashed or truncated cells resume "
@@ -944,9 +1005,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-cycles", type=int, default=None,
                    help="watchdog for every benchmark run "
                         "(default 20,000,000)")
+    p.add_argument("--profile", action="store_true",
+                   help="profile one serial cell with the deterministic "
+                        "profiler; adds a `profile` section to the JSON "
+                        "and writes a collapsed-stack file")
+    p.add_argument("--profile-out", metavar="PATH", default=None,
+                   help="collapsed-stack output path (default "
+                        "profile_collapsed.txt; implies --profile)")
     p.add_argument("--out", default=None,
                    help="also write the JSON document here")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "report",
+        help="self-contained HTML health report for a sweep",
+    )
+    p.add_argument("source",
+                   help="sweep journal JSON or queue directory")
+    p.add_argument("--out", default="report.html",
+                   help="HTML output path (default report.html)")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "config",

@@ -32,6 +32,8 @@ from repro.checkpoint import (
 from repro.experiments.runner import BatchRunner, RunPolicy, run_accounted
 from repro.observability import MetricsRegistry, TimelineRecorder
 from repro.observability.events import EventBus
+from repro.observability.profiling import DeterministicProfiler
+from repro.observability.spans import SpanRecorder
 from repro.parallel import (
     ChunkingPolicy,
     cells_from_sweep,
@@ -131,27 +133,31 @@ def _bench_observability(scale, max_cycles, repeats):
 
     "Wide open" is the worst case the observability layer supports: an
     event bus with a :class:`TimelineRecorder` subscribed to every
-    engine event family plus a :class:`MetricsRegistry` harvesting the
-    cell — so the measured overhead bounds what ``repro trace`` and
-    ``sweep --emit-metrics`` cost.  Simulated cycles must be identical
-    either way (instrumentation observes, never perturbs); CI gates on
-    ``overhead_pct``.
+    engine event family, a :class:`MetricsRegistry` harvesting the
+    cell, *and* a :class:`SpanRecorder` timing the harness phases — so
+    the measured overhead bounds what ``repro trace``,
+    ``sweep --emit-metrics`` and ``sweep --emit-spans`` cost together.
+    Simulated cycles must be identical either way (instrumentation
+    observes, never perturbs); CI gates on ``overhead_pct``.
     """
     spec = by_name(FF_BENCHMARK)
     policy = RunPolicy(on_error="skip", max_cycles=max_cycles)
     timings = {}
     cycles = {}
     n_events = 0
+    n_spans = 0
     for enabled in (False, True):
         best = None
         for _ in range(repeats):
-            bus = metrics = None
+            bus = metrics = spans = None
             if enabled:
                 bus = EventBus()
                 TimelineRecorder().attach(bus)
                 metrics = MetricsRegistry()
+                spans = SpanRecorder()
             runner = BatchRunner(
-                policy=policy, scale=scale, bus=bus, metrics=metrics
+                policy=policy, scale=scale, bus=bus, metrics=metrics,
+                spans=spans,
             )
             start = time.perf_counter()
             outcome = runner.run_cell(spec, FF_THREADS)
@@ -160,6 +166,8 @@ def _bench_observability(scale, max_cycles, repeats):
             cycles[enabled] = outcome.result.mt_result.total_cycles
             if bus is not None:
                 n_events = bus.n_emitted
+            if spans is not None:
+                n_spans = len(spans)
         timings[enabled] = best
     assert cycles[True] == cycles[False], (
         "instrumentation changed simulated time — the bus is not "
@@ -173,8 +181,36 @@ def _bench_observability(scale, max_cycles, repeats):
             100.0 * (timings[True] - timings[False]) / timings[False], 2
         ),
         "events_emitted": n_events,
+        "spans_recorded": n_spans,
         "total_cycles": cycles[True],
     }
+
+
+def _bench_profile(scale, max_cycles, top_n=15):
+    """One accounted cell under the deterministic sampling profiler.
+
+    Returns the BENCH ``profile`` section: total self-time, the top-N
+    self-time functions and the share of time inside the engine inner
+    loop — plus the full collapsed-stack text under ``"collapsed"``
+    (callers write it to a ``.collapsed`` artifact and usually pop it
+    from the JSON document, where it would dwarf everything else).
+    """
+    spec = by_name(FF_BENCHMARK)
+    policy = RunPolicy(on_error="skip", max_cycles=max_cycles)
+    runner = BatchRunner(policy=policy, scale=scale)
+    profiler = DeterministicProfiler()
+    start = time.perf_counter()
+    with profiler:
+        outcome = runner.run_cell(spec, FF_THREADS)
+    elapsed = time.perf_counter() - start
+    section = {
+        "cell": f"{FF_BENCHMARK}:{FF_THREADS}",
+        "wall_s": round(elapsed, 4),
+        "total_cycles": outcome.result.mt_result.total_cycles,
+    }
+    section.update(profiler.profile_section(top_n=top_n))
+    section["collapsed"] = profiler.collapsed()
+    return section
 
 
 def _bench_checkpoint(max_cycles, repeats):
@@ -338,8 +374,14 @@ def run_bench(
     jobs_list=(1,),
     repeats=1,
     max_cycles=DEFAULT_MAX_CYCLES,
+    profile=False,
 ) -> dict:
-    """Run the whole harness and return the BENCH document."""
+    """Run the whole harness and return the BENCH document.
+
+    With ``profile`` the document gains a ``profile`` section (see
+    :func:`_bench_profile`); its ``"collapsed"`` text is meant to be
+    popped into a separate artifact file by the caller.
+    """
     cells = sweep_cells(benchmarks, tuple(thread_counts))
     policy = RunPolicy(on_error="skip", max_cycles=max_cycles)
     jobs_list = sorted(set(jobs_list) | {1})
@@ -350,7 +392,7 @@ def run_bench(
     serial_wall = next(r["wall_s"] for r in runs if r["jobs"] == 1)
     for run in runs:
         run["speedup_vs_serial"] = round(serial_wall / run["wall_s"], 3)
-    return {
+    doc = {
         "bench": "sweep-wall-clock",
         "host": {
             "cpu_count": os.cpu_count(),
@@ -373,6 +415,9 @@ def run_bench(
         "observability": _bench_observability(scale, max_cycles, repeats),
         "checkpoint": _bench_checkpoint(max_cycles, repeats),
     }
+    if profile:
+        doc["profile"] = _bench_profile(scale, max_cycles)
+    return doc
 
 
 def render_bench(doc: dict) -> str:
@@ -419,12 +464,29 @@ def render_bench(doc: dict) -> str:
     )
     obs = doc.get("observability")
     if obs is not None:
+        spans_txt = (
+            f", {obs['spans_recorded']} spans"
+            if obs.get("spans_recorded") else ""
+        )
         lines.append(
             f"observability ({obs['cell']}): "
             f"{obs['wall_s_disabled']:.3f}s -> "
             f"{obs['wall_s_enabled']:.3f}s enabled "
             f"({obs['overhead_pct']:+.1f}%, {obs['events_emitted']} "
-            f"events, cycles identical)"
+            f"events{spans_txt}, cycles identical)"
+        )
+    prof = doc.get("profile")
+    if prof is not None:
+        top = prof["top_functions"][:3]
+        top_txt = ", ".join(
+            f"{entry['function'].rsplit('.', 1)[-1]} "
+            f"{entry['self_pct']:.0f}%"
+            for entry in top
+        )
+        lines.append(
+            f"profile ({prof['cell']}): "
+            f"{prof['engine_inner_loop_pct']:.0f}% in engine inner loop; "
+            f"top self-time: {top_txt}"
         )
     ckpt = doc.get("checkpoint")
     if ckpt is not None:

@@ -57,6 +57,7 @@ from repro.observability.events import (
     SweepStarted,
 )
 from repro.observability.metrics import harvest_cell_metrics
+from repro.observability.spans import maybe_span
 from repro.robustness.drain import DrainableHook, DrainRequested
 from repro.robustness.faults import CellFault, make_fault
 from repro.robustness.journal import SweepJournal
@@ -182,6 +183,7 @@ def run_experiment(
     on_timeout: str = "raise",
     bus=None,
     checkpoint=None,
+    spans=None,
 ) -> ExperimentResult:
     """Full protocol: (optional) reference run, accounted run, stack.
 
@@ -189,26 +191,31 @@ def run_experiment(
     reference run is a measurement fixture, not the subject.  The same
     holds for ``checkpoint``: only the accounted run is saved (the
     reference run is cheap to recompute and fully deterministic).
+    ``spans`` (a :class:`~repro.observability.spans.SpanRecorder`)
+    times the harness phases — ST reference, engine advance, harvest.
     """
     st_result = None
     ts = None
     if st_program is not None:
-        st_result = run_reference(
-            machine, st_program,
+        with maybe_span(spans, "st.reference", cat="cell"):
+            st_result = run_reference(
+                machine, st_program,
+                max_cycles=max_cycles,
+                livelock_window=livelock_window,
+                on_timeout=on_timeout,
+            )
+        ts = None if st_result.truncated else st_result.total_cycles
+    with maybe_span(spans, "engine.advance", cat="cell"):
+        mt_result, report = run_accounted(
+            machine, mt_program,
             max_cycles=max_cycles,
             livelock_window=livelock_window,
             on_timeout=on_timeout,
+            bus=bus,
+            checkpoint=checkpoint,
         )
-        ts = None if st_result.truncated else st_result.total_cycles
-    mt_result, report = run_accounted(
-        machine, mt_program,
-        max_cycles=max_cycles,
-        livelock_window=livelock_window,
-        on_timeout=on_timeout,
-        bus=bus,
-        checkpoint=checkpoint,
-    )
-    stack = build_stack(name, report, ts_cycles=ts)
+    with maybe_span(spans, "harvest", cat="cell"):
+        stack = build_stack(name, report, ts_cycles=ts)
     return ExperimentResult(
         name=name,
         n_threads=mt_program.n_threads,
@@ -452,6 +459,7 @@ class BatchRunner:
         metrics=None,
         experiment: ExperimentConfig | None = None,
         drain=None,
+        spans=None,
     ) -> None:
         """``experiment`` supplies defaults for everything it covers —
         the policy (from ``experiment.run``), the scale (from
@@ -487,6 +495,12 @@ class BatchRunner:
         #: optional DrainController: polled between cells and (via the
         #: checkpoint hook) once per engine scheduling step mid-cell
         self.drain = drain
+        #: optional SpanRecorder timing the harness's own phases (trace
+        #: decode, ST reference, engine advance, harvest, journal
+        #: write).  Spans are wall-clock so they are never journaled;
+        #: warm workers re-point this attribute per chunk — it is
+        #: mutable state *outside* the WorkerCaches key on purpose.
+        self.spans = spans
         self._machine_factory = machine_factory or (
             lambda n_threads: MachineConfig(n_cores=n_threads)
         )
@@ -499,6 +513,15 @@ class BatchRunner:
 
     def run_cell(self, spec: BenchmarkSpec, n_threads: int) -> CellOutcome:
         """One isolated cell: build programs, run, classify the outcome."""
+        spans = self.spans
+        if spans is None:
+            return self._run_cell_inner(spec, n_threads)
+        with spans.span(f"{spec.full_name}:{n_threads}", cat="cell"):
+            return self._run_cell_inner(spec, n_threads)
+
+    def _run_cell_inner(
+        self, spec: BenchmarkSpec, n_threads: int
+    ) -> CellOutcome:
         policy = self.policy
         bus = self.bus
         metrics = self.metrics
@@ -607,6 +630,7 @@ class BatchRunner:
         self, spec: BenchmarkSpec, n_threads: int, fault,
         fault_info=None, attempt: int = 1,
     ) -> ExperimentResult:
+        spans = self.spans
         machine = self._machine_factory(n_threads)
         hook = self._cell_checkpoint(
             spec, n_threads, machine, fault_info, attempt
@@ -616,37 +640,42 @@ class BatchRunner:
         # post-fault machine for the ST reference and keeps the
         # injector's per-application RNG sequence in step for later
         # attempts; the untouched generators cost nothing.
-        mt_program = build_program(spec, n_threads, scale=self.scale)
-        if fault is not None:
-            mt_program, machine = fault(mt_program, machine)
-        st_result = self._st_reference(spec, machine)
+        with maybe_span(spans, "trace.decode", cat="cell"):
+            mt_program = build_program(spec, n_threads, scale=self.scale)
+            if fault is not None:
+                mt_program, machine = fault(mt_program, machine)
+        with maybe_span(spans, "st.reference", cat="cell"):
+            st_result = self._st_reference(spec, machine)
         ts = None if st_result.truncated else st_result.total_cycles
         sim = None
         if hook is not None and hook.path is not None and hook.path.exists():
             sim = self._try_resume(hook, spec)
+        with maybe_span(spans, "engine.advance", cat="cell"):
+            if sim is not None:
+                mt_result = sim.run(
+                    max_cycles=self.policy.max_cycles,
+                    livelock_window=self.policy.livelock_window,
+                    on_timeout="truncate",
+                    checkpoint=hook,
+                )
+            else:
+                mt_result, report = run_accounted(
+                    machine, mt_program,
+                    max_cycles=self.policy.max_cycles,
+                    livelock_window=self.policy.livelock_window,
+                    on_timeout="truncate",
+                    bus=self.bus,
+                    checkpoint=hook,
+                )
         if sim is not None:
-            mt_result = sim.run(
-                max_cycles=self.policy.max_cycles,
-                livelock_window=self.policy.livelock_window,
-                on_timeout="truncate",
-                checkpoint=hook,
-            )
             report = sim.accountant.report(mt_result)
-        else:
-            mt_result, report = run_accounted(
-                machine, mt_program,
-                max_cycles=self.policy.max_cycles,
-                livelock_window=self.policy.livelock_window,
-                on_timeout="truncate",
-                bus=self.bus,
-                checkpoint=hook,
-            )
         if hook is not None and hook.path is not None and not mt_result.truncated:
             # clean completion: the checkpoint has nothing left to
             # resume (truncated runs keep theirs for inspect/resume
             # under raised watchdog limits)
             hook.path.unlink(missing_ok=True)
-        stack = build_stack(spec.full_name, report, ts_cycles=ts)
+        with maybe_span(spans, "harvest", cat="cell"):
+            stack = build_stack(spec.full_name, report, ts_cycles=ts)
         return ExperimentResult(
             name=spec.full_name,
             n_threads=mt_program.n_threads,
@@ -813,23 +842,24 @@ class BatchRunner:
                     " after a checkpoint save" if exc.saved else "",
                 )
                 break
-            if outcome.status == CELL_OK:
-                assert outcome.result is not None
-                self.journal.record_ok(
-                    name, n_threads,
-                    attempts=outcome.attempts,
-                    total_cycles=outcome.result.mt_result.total_cycles,
-                    truncated=outcome.result.mt_result.truncated,
-                    metrics=outcome.metrics,
-                )
-            else:
-                self.journal.record_failure(
-                    name, n_threads,
-                    attempts=outcome.attempts,
-                    error=outcome.error or "",
-                    error_type=outcome.error_type or "",
-                    snapshot=outcome.snapshot,
-                )
+            with maybe_span(self.spans, "journal.write", cat="sweep"):
+                if outcome.status == CELL_OK:
+                    assert outcome.result is not None
+                    self.journal.record_ok(
+                        name, n_threads,
+                        attempts=outcome.attempts,
+                        total_cycles=outcome.result.mt_result.total_cycles,
+                        truncated=outcome.result.mt_result.truncated,
+                        metrics=outcome.metrics,
+                    )
+                else:
+                    self.journal.record_failure(
+                        name, n_threads,
+                        attempts=outcome.attempts,
+                        error=outcome.error or "",
+                        error_type=outcome.error_type or "",
+                        snapshot=outcome.snapshot,
+                    )
             report.outcomes.append(outcome)
         if self.bus is not None:
             self.bus.emit(SweepFinished(

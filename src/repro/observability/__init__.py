@@ -22,6 +22,18 @@ runner itself.  Four cooperating pieces:
 * :mod:`repro.observability.progress` — live sweep telemetry: a
   ``--progress`` stderr renderer with ETA and a machine-readable
   heartbeat file for external monitoring.
+* :mod:`repro.observability.spans` — hierarchical wall-clock spans
+  around the harness's own phase boundaries (trace decode, ST
+  reference, engine advance, harvest, journal write, chunk dispatch,
+  queue claim/run/merge), shipped cross-process like metrics and
+  exportable as an extra Chrome-trace track.  Spans are wall-clock and
+  therefore never journaled.
+* :mod:`repro.observability.profiling` — an opt-in deterministic
+  ``sys.setprofile`` profiler feeding ``repro bench --profile``'s
+  collapsed-stack file and BENCH ``profile`` section.
+* :mod:`repro.observability.report` — ``repro report``: a
+  self-contained HTML sweep health report built from a journal or a
+  queue directory plus optional spans/metrics/heartbeat artifacts.
 
 Everything here is observation only: attaching a bus, a registry, a
 recorder or a reporter never changes a simulated cycle.  The
@@ -48,6 +60,7 @@ from repro.observability.events import (
     ThreadDispatched,
     WatchdogFired,
     WorkerCrashed,
+    WorkerHeartbeat,
     YieldInterval,
 )
 from repro.observability.metrics import (
@@ -57,10 +70,19 @@ from repro.observability.metrics import (
     MetricsRegistry,
     harvest_cell_metrics,
 )
+from repro.observability.profiling import DeterministicProfiler
 from repro.observability.progress import ProgressReporter
+from repro.observability.report import (
+    load_report_data,
+    render_report_html,
+    write_report,
+)
+from repro.observability.spans import SpanRecorder, maybe_span, validate_span_rows
 from repro.observability.timeline import (
+    SPAN_PID_BASE,
     TimelineRecorder,
     interval_sums,
+    spans_to_trace_events,
     trace_cell,
     validate_trace_events,
 )
@@ -71,6 +93,7 @@ __all__ = [
     "CellStarted",
     "Counter",
     "DeadlockDetected",
+    "DeterministicProfiler",
     "EVENT_TYPES",
     "EventBus",
     "FaultArmed",
@@ -79,11 +102,17 @@ __all__ = [
     "Histogram",
     "InterThreadAccess",
     "interval_sums",
+    "load_report_data",
+    "maybe_span",
     "MetricsRegistry",
     "MissBlocked",
     "ProgressReporter",
+    "render_report_html",
     "SimEnded",
     "SimStarted",
+    "SPAN_PID_BASE",
+    "SpanRecorder",
+    "spans_to_trace_events",
     "SpinSegment",
     "SpinTruncated",
     "SweepFinished",
@@ -92,8 +121,11 @@ __all__ = [
     "ThreadDispatched",
     "TimelineRecorder",
     "trace_cell",
+    "validate_span_rows",
     "validate_trace_events",
     "WatchdogFired",
     "WorkerCrashed",
+    "WorkerHeartbeat",
+    "write_report",
     "YieldInterval",
 ]

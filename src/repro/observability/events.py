@@ -276,6 +276,20 @@ class CellQuarantined:
     expiries: int
 
 
+@dataclass(frozen=True)
+class WorkerHeartbeat:
+    """A queue worker refreshed its heartbeat file.
+
+    ``timestamp`` is the worker's wall-clock (``time.time``) at write
+    time; ``current_cell`` is the cell it was running, or None while
+    idle.  The driver emits one of these per observed heartbeat change
+    so the progress line can show per-worker last-heartbeat ages."""
+
+    worker: str
+    timestamp: float
+    current_cell: str | None
+
+
 #: every event type, for subscribe-to-everything consumers and docs
 EVENT_TYPES = (
     SimStarted,
@@ -301,6 +315,7 @@ EVENT_TYPES = (
     LeaseExpired,
     CellRequeued,
     CellQuarantined,
+    WorkerHeartbeat,
 )
 
 

@@ -28,6 +28,129 @@ from __future__ import annotations
 import json
 from bisect import bisect_left
 
+#: Canonical metric registry: every metric the harness emits, keyed by
+#: base name (labels stripped), with its kind and label set.  This is
+#: the single source of truth for metric naming — the table in
+#: ``docs/observability.md`` renders it, and
+#: ``tests/observability/test_counter_registry.py`` greps the source
+#: tree to fail on any emission not listed here (and on any listed
+#: name nothing emits).  Naming rules: ``runtime.*`` for host-dependent
+#: harness telemetry (never journaled), ``sim.*`` for deterministic
+#: simulator counters (journaled per cell); snake_case; counters named
+#: for the counted noun (``cells_ok``, not ``ok_cells``).
+METRIC_REGISTRY: dict[str, dict] = {
+    # -- runtime.* (host-dependent; registry/heartbeat only) -----------
+    "runtime.cells_ok": {
+        "kind": "counter", "labels": (),
+        "help": "cells that reached a terminal ok state",
+    },
+    "runtime.cells_failed": {
+        "kind": "counter", "labels": (),
+        "help": "cells that reached a terminal failed state",
+    },
+    "runtime.retries": {
+        "kind": "counter", "labels": (),
+        "help": "in-cell retry attempts (on_error=retry)",
+    },
+    "runtime.cell_wall_s": {
+        "kind": "histogram", "labels": (),
+        "help": "wall-clock seconds per cell attempt",
+    },
+    "runtime.worker_crashes": {
+        "kind": "counter", "labels": (),
+        "help": "worker processes that died mid-sweep",
+    },
+    "runtime.lease_expiries": {
+        "kind": "counter", "labels": (),
+        "help": "queue leases reclaimed from silent workers",
+    },
+    "runtime.requeues": {
+        "kind": "counter", "labels": (),
+        "help": "cells put back in the queue after a lease expiry",
+    },
+    "runtime.quarantined": {
+        "kind": "counter", "labels": (),
+        "help": "poison cells quarantined after repeated expiries",
+    },
+    "runtime.chunks_dispatched": {
+        "kind": "counter", "labels": (),
+        "help": "chunks submitted to the worker pool",
+    },
+    "runtime.chunks_finished": {
+        "kind": "counter", "labels": (),
+        "help": "chunks whose results were collected",
+    },
+    "runtime.cells_recovered_from_spill": {
+        "kind": "counter", "labels": (),
+        "help": "cells recovered from a dead worker's spill file",
+    },
+    # -- sim.* (deterministic; journaled per cell) ---------------------
+    "sim.l1_hits": {"kind": "counter", "labels": ("core",),
+                    "help": "L1 hits"},
+    "sim.l1_misses": {"kind": "counter", "labels": ("core",),
+                      "help": "L1 misses"},
+    "sim.llc_hits": {"kind": "counter", "labels": ("core",),
+                     "help": "LLC hits"},
+    "sim.llc_misses": {"kind": "counter", "labels": ("core",),
+                       "help": "LLC misses"},
+    "sim.llc_load_misses": {"kind": "counter", "labels": ("core",),
+                            "help": "LLC load misses"},
+    "sim.c2c_transfers": {"kind": "counter", "labels": ("core",),
+                          "help": "cache-to-cache transfers"},
+    "sim.dram_accesses": {"kind": "counter", "labels": ("core",),
+                          "help": "DRAM accesses"},
+    "sim.rob_block_stall_cycles": {
+        "kind": "counter", "labels": ("core",),
+        "help": "cycles the ROB head was blocked on an LLC load miss",
+    },
+    "sim.stall_cycles": {"kind": "counter", "labels": ("core",),
+                         "help": "total stall cycles"},
+    "sim.busy_cycles": {"kind": "counter", "labels": ("core",),
+                        "help": "cycles the core retired work"},
+    "sim.coherency_misses": {"kind": "counter", "labels": ("core",),
+                             "help": "invalidation-caused misses"},
+    "sim.spin_loop_detections": {
+        "kind": "counter", "labels": ("core",),
+        "help": "hardware spin-detector episodes",
+    },
+    "sim.sampled_inter_thread_misses": {
+        "kind": "counter", "labels": ("core",),
+        "help": "sampled negative-interference misses",
+    },
+    "sim.sampled_inter_thread_hits": {
+        "kind": "counter", "labels": ("core",),
+        "help": "sampled positive-interference hits",
+    },
+    "sim.memory_interference_stall": {
+        "kind": "counter", "labels": ("core",),
+        "help": "stall cycles attributed to other cores' interference",
+    },
+    "sim.spin_cycles": {"kind": "counter", "labels": ("thread",),
+                        "help": "ground-truth spin cycles"},
+    "sim.yield_cycles": {"kind": "counter", "labels": ("thread",),
+                         "help": "ground-truth yield cycles"},
+    "sim.sync_cycles": {"kind": "counter", "labels": ("thread",),
+                        "help": "ground-truth synchronization cycles"},
+    "sim.spin_instrs": {"kind": "counter", "labels": ("thread",),
+                        "help": "instructions retired while spinning"},
+    "sim.yields": {"kind": "counter", "labels": ("thread",),
+                   "help": "scheduler yields"},
+    "sim.lock_acquires": {"kind": "counter", "labels": ("thread",),
+                          "help": "lock acquisitions"},
+    "sim.barrier_waits": {"kind": "counter", "labels": ("thread",),
+                          "help": "barrier arrivals"},
+    "sim.total_cycles": {"kind": "counter", "labels": (),
+                         "help": "simulated cycles of the accounted run"},
+    "sim.instructions": {"kind": "counter", "labels": (),
+                         "help": "instructions retired"},
+    "sim.spin_instructions": {"kind": "counter", "labels": (),
+                              "help": "spin instructions retired"},
+    "sim.truncated_runs": {"kind": "counter", "labels": (),
+                           "help": "1 when the run hit a watchdog"},
+    "sim.cells": {"kind": "counter", "labels": (),
+                  "help": "cells aggregated into this registry"},
+}
+
 
 def metric_key(name: str, **labels) -> str:
     """Canonical metric key: ``name{k=v,...}`` with sorted label keys."""

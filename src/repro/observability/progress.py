@@ -9,7 +9,12 @@ and renders a one-line status on every change::
 
 ETA is the mean duration of finished cells times the remaining count,
 divided by the worker slots — crude, but it converges as cells finish
-and needs no prior model of cell cost.
+and needs no prior model of cell cost.  Under chunked dispatch
+(``ChunkDispatched`` seen) per-cell durations are chunk-granular, so
+the reporter switches to completed-cell throughput
+(``elapsed / done × remaining``) instead.  Queue sweeps additionally
+feed :class:`~repro.observability.events.WorkerHeartbeat` events, and
+the line then carries each worker's last-heartbeat age.
 
 With a ``heartbeat_path`` the reporter also writes a small JSON
 document (atomically: temp file + rename) on every event, so an
@@ -44,6 +49,7 @@ from repro.observability.events import (
     SweepFinished,
     SweepStarted,
     WorkerCrashed,
+    WorkerHeartbeat,
 )
 
 
@@ -67,13 +73,17 @@ class ProgressReporter:
         jobs: int = 1,
         stream=None,
         heartbeat_path: str | None = None,
+        heartbeat_log_path: str | None = None,
         clock=time.monotonic,
+        wall_clock=time.time,
     ) -> None:
         self.n_cells = n_cells
         self.jobs = max(1, jobs)
         self.stream = stream if stream is not None else sys.stderr
         self.heartbeat_path = heartbeat_path
+        self.heartbeat_log_path = heartbeat_log_path
         self._clock = clock
+        self._wall = wall_clock
         self._lock = threading.Lock()
         self._t0 = clock()
         self._running: dict[str, float] = {}  # key -> start time
@@ -88,6 +98,8 @@ class ProgressReporter:
         self.quarantined = 0
         self.chunks_dispatched = 0
         self.chunks_finished = 0
+        #: worker -> (last heartbeat wall timestamp, current cell)
+        self._worker_beats: dict[str, tuple[float, str | None]] = {}
 
     # -- bus wiring -----------------------------------------------------
 
@@ -100,6 +112,7 @@ class ProgressReporter:
         (ChunkDispatched, "_on_chunk_dispatched"),
         (ChunkFinished, "_on_chunk_finished"),
         (WorkerCrashed, "_on_worker_crashed"),
+        (WorkerHeartbeat, "_on_worker_heartbeat"),
         (LeaseExpired, "_on_lease_expired"),
         (CellRequeued, "_on_cell_requeued"),
         (CellQuarantined, "_on_cell_quarantined"),
@@ -121,13 +134,8 @@ class ProgressReporter:
         return self.ok + self.failed + self.resumed
 
     def eta_seconds(self) -> float | None:
-        if not self._durations:
-            return None
-        remaining = self.n_cells - self.done
-        if remaining <= 0:
-            return 0.0
-        mean = sum(self._durations) / len(self._durations)
-        return mean * remaining / self.jobs
+        with self._lock:
+            return self._eta_locked()
 
     # -- handlers -------------------------------------------------------
 
@@ -184,6 +192,22 @@ class ProgressReporter:
             self.crashes += 1
         self._emit(f"worker crashed ({len(event.suspects)} cells suspect)")
 
+    def _on_worker_heartbeat(self, event) -> None:
+        # heartbeats are frequent and carry no sweep-state change, so
+        # they refresh the heartbeat file but never print a line; the
+        # ages surface on the next rendered event
+        with self._lock:
+            self._worker_beats[event.worker] = (
+                event.timestamp, event.current_cell
+            )
+            heartbeat = (
+                self._heartbeat_locked()
+                if self.heartbeat_path or self.heartbeat_log_path
+                else None
+            )
+        if heartbeat is not None:
+            self._write_heartbeat(heartbeat)
+
     def _on_lease_expired(self, event) -> None:
         with self._lock:
             self.lease_expiries += 1
@@ -212,7 +236,9 @@ class ProgressReporter:
         with self._lock:
             line = self._render_locked(what)
             heartbeat = (
-                self._heartbeat_locked() if self.heartbeat_path else None
+                self._heartbeat_locked()
+                if self.heartbeat_path or self.heartbeat_log_path
+                else None
             )
         print(line, file=self.stream)
         if final:
@@ -251,12 +277,33 @@ class ProgressReporter:
                 for key, t in sorted(self._running.items())
             )
             line += f" | active: {active}"
+        if self._worker_beats:
+            wall = self._wall()
+            ages = " ".join(
+                f"{worker}={_fmt_duration(max(0.0, wall - ts))}"
+                for worker, (ts, _cell) in sorted(self._worker_beats.items())
+            )
+            line += f" | hb {ages}"
         eta = self._eta_locked()
         if eta is not None:
             line += f" | eta {_fmt_duration(eta)}"
         return line
 
     def _eta_locked(self) -> float | None:
+        if self.chunks_dispatched:
+            # chunked dispatch reports a chunk's cells together, so the
+            # per-cell durations in self._durations are chunk-granular
+            # (every cell appears to take its whole chunk's wall time)
+            # and the mean-duration formula overestimates by roughly
+            # the chunk size; use completed-cell throughput instead —
+            # worker parallelism is already folded into the rate
+            if self.done <= 0:
+                return None
+            remaining = self.n_cells - self.done
+            if remaining <= 0:
+                return 0.0
+            elapsed = max(self._clock() - self._t0, 1e-9)
+            return elapsed * remaining / self.done
         if not self._durations:
             return None
         remaining = self.n_cells - self.done
@@ -267,8 +314,8 @@ class ProgressReporter:
 
     def _heartbeat_locked(self) -> dict:
         now = self._clock()
-        return {
-            "timestamp": time.time(),
+        doc = {
+            "timestamp": self._wall(),
             "elapsed_s": round(now - self._t0, 3),
             "total": self.n_cells,
             "done": self.done,
@@ -292,10 +339,32 @@ class ProgressReporter:
                 if self._eta_locked() is not None else None
             ),
         }
+        if self._worker_beats:
+            wall = self._wall()
+            doc["workers"] = {
+                worker: {
+                    "age_s": round(max(0.0, wall - ts), 3),
+                    "current_cell": cell,
+                }
+                for worker, (ts, cell) in sorted(self._worker_beats.items())
+            }
+        return doc
 
     def _write_heartbeat(self, payload: dict) -> None:
-        tmp = f"{self.heartbeat_path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle, indent=1)
-            handle.write("\n")
-        os.replace(tmp, self.heartbeat_path)
+        if self.heartbeat_path is not None:
+            tmp = f"{self.heartbeat_path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle, indent=1)
+                handle.write("\n")
+            os.replace(tmp, self.heartbeat_path)
+        if self.heartbeat_log_path is not None:
+            # append-only JSONL history of every heartbeat, one compact
+            # object per line — the input `repro report` and
+            # tools/validate_trace.py --kind heartbeat-log consume
+            try:
+                with open(self.heartbeat_log_path, "a") as handle:
+                    handle.write(
+                        json.dumps(payload, separators=(",", ":")) + "\n"
+                    )
+            except OSError:
+                pass  # history is advisory; never fail the sweep for it

@@ -52,6 +52,11 @@ TRACK_NAMES = {
     TRACK_MEM: "mem interference",
 }
 
+#: span lanes live in a pid range far above any plausible core count,
+#: so the harness's self-profiling track never collides with a core's
+#: "process" in the exported trace
+SPAN_PID_BASE = 1000
+
 
 class TimelineRecorder:
     """Collects per-core interval tracks from a simulation's event bus."""
@@ -240,6 +245,52 @@ def interval_sums(recorder: TimelineRecorder) -> dict:
     }
 
 
+def spans_to_trace_events(rows: list[dict]) -> list[dict]:
+    """Chrome trace events for a harness span document.
+
+    One "process" lane per span origin (``pid >= SPAN_PID_BASE``) —
+    origins use different process epochs, so pretending their
+    timestamps align on one lane would be a lie.  Spans become complete
+    ('X') events whose ts/dur are the recorder's integer microseconds;
+    nesting falls out of interval containment, which is how the
+    recorder produced them in the first place.
+    """
+    origins = sorted({row.get("origin", "main") for row in rows})
+    lane = {origin: SPAN_PID_BASE + i for i, origin in enumerate(origins)}
+    events: list[dict] = []
+    for origin in origins:
+        pid = lane[origin]
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": f"spans: {origin}"},
+        })
+        events.append({
+            "name": "process_sort_index", "ph": "M", "pid": pid,
+            "args": {"sort_index": pid},
+        })
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": 0, "args": {"name": "harness spans"},
+        })
+    for row in rows:
+        args: dict = {"span_id": row["id"]}
+        if row.get("parent") is not None:
+            args["parent"] = row["parent"]
+        if row.get("args"):
+            args.update(row["args"])
+        events.append({
+            "name": row["name"],
+            "cat": f"span:{row.get('cat', 'runner')}",
+            "ph": "X",
+            "pid": lane[row.get("origin", "main")],
+            "tid": 0,
+            "ts": max(0, int(row["t0_us"])),
+            "dur": max(0, int(row.get("dur_us") or 0)),
+            "args": args,
+        })
+    return events
+
+
 def validate_trace_events(doc) -> list[str]:
     """Structural validation against the trace-event format.
 
@@ -288,12 +339,15 @@ def trace_cell(
     scale: float = 1.0,
     max_cycles: int | None = None,
     livelock_window: int | None = None,
+    spans=None,
 ):
     """Run one (benchmark, N) cell with a timeline recorder attached.
 
     Returns ``(experiment_result, recorder)`` — the full protocol runs
     (reference + accounted), so the caller holds both the speedup stack
-    and the timeline it should reconcile with.
+    and the timeline it should reconcile with.  Pass a
+    :class:`~repro.observability.spans.SpanRecorder` to additionally
+    capture the harness's own phase spans for the exported span track.
     """
     from repro.config import MachineConfig
     from repro.experiments.runner import run_experiment
@@ -312,5 +366,6 @@ def trace_cell(
         livelock_window=livelock_window,
         on_timeout="truncate" if max_cycles or livelock_window else "raise",
         bus=bus,
+        spans=spans,
     )
     return result, recorder

@@ -108,6 +108,10 @@ class CellResult:
     #: a plain dict of ints — the only metrics shape that journals
     #: byte-deterministically
     metrics: dict | None = None
+    #: this cell's harness span rows (None unless span collection is
+    #: enabled).  Wall-clock, so — unlike ``metrics`` — these are
+    #: merged into the parent's SpanRecorder and **never** journaled.
+    spans: list | None = None
 
     @property
     def key(self) -> str:

@@ -55,9 +55,10 @@ from repro.observability.events import (
     SweepStarted,
     WorkerCrashed,
 )
+from repro.observability.spans import maybe_span
 from repro.parallel.cells import WORKER_CRASH, CellResult, CellSpec
 from repro.parallel.chunking import Chunk, ChunkingPolicy, plan_chunks
-from repro.parallel.transport import decode_chunk_results, read_spill
+from repro.parallel.transport import decode_chunk_payload, read_spill
 from repro.parallel.worker import run_chunk_task
 from repro.robustness.journal import SweepJournal
 
@@ -77,7 +78,7 @@ def _crashed_result(cell: CellSpec, attempts: int) -> CellResult:
 
 def _run_quarantined(
     index: int, cell: CellSpec, policy: RunPolicy, max_attempts: int,
-    collect_metrics: bool = False,
+    collect_metrics: bool = False, collect_spans: bool = False,
 ) -> CellResult:
     """Re-run one crash suspect alone in single-worker pools.
 
@@ -92,9 +93,10 @@ def _run_quarantined(
         with ProcessPoolExecutor(max_workers=1) as pool:
             try:
                 payload = pool.submit(
-                    run_chunk_task, ((index, cell),), policy, collect_metrics
+                    run_chunk_task, ((index, cell),), policy,
+                    collect_metrics, None, collect_spans,
                 ).result()
-                return decode_chunk_results(payload)[0][1]
+                return decode_chunk_payload(payload)[0][0][1]
             except BrokenExecutor:
                 logger.warning(
                     "cell %s crashed its worker (quarantined attempt %d/%d)",
@@ -112,6 +114,7 @@ def _execute_cells(
     drain=None,
     chunking: ChunkingPolicy | None = None,
     metrics=None,
+    spans=None,
 ) -> tuple[dict[int, CellResult], bool]:
     """Run cells on a warm pool in chunks; survive worker deaths.
 
@@ -138,6 +141,7 @@ def _execute_cells(
     results: dict[int, CellResult] = {}
     interrupted = False
     chunking = chunking or ChunkingPolicy()
+    collect_spans = spans is not None
     max_crash_attempts = 1 + (
         policy.max_retries if policy.on_error == "retry" else 0
     )
@@ -146,24 +150,41 @@ def _execute_cells(
     # possibly from the executor's callback thread, so decoded payloads
     # are cached under a lock (the collector reuses them) and emissions
     # are deduplicated per chunk.
-    decoded: dict[str, list[tuple[int, CellResult]]] = {}
+    decoded: dict[str, tuple[list[tuple[int, CellResult]], list]] = {}
     decode_lock = threading.Lock()
 
     def _decode_once(chunk: Chunk, payload: bytes):
         with decode_lock:
             cached = decoded.get(chunk.chunk_id)
             if cached is not None:
-                return cached, False
-            pairs = decode_chunk_results(payload)
-            decoded[chunk.chunk_id] = pairs
-            return pairs, True
+                return cached[0], cached[1], False
+            pairs, chunk_spans = decode_chunk_payload(payload)
+            decoded[chunk.chunk_id] = (pairs, chunk_spans)
+            return pairs, chunk_spans, True
+
+    def _absorb_chunk(
+        chunk: Chunk, t0_us: int,
+        chunk_spans: list, cell_results,
+    ) -> None:
+        """Record the parent's chunk.dispatch span (submit → collect)
+        and merge the worker's chunk + per-cell span rows under it.
+        Runs only in the collector thread, once per chunk."""
+        dispatch_id = spans.record(
+            "chunk.dispatch", "parallel",
+            t0_us, spans.now_us() - t0_us, chunk=chunk.chunk_id,
+        )
+        if chunk_spans:
+            spans.absorb(chunk_spans, parent=dispatch_id)
+        for result in cell_results:
+            if result.spans:
+                spans.absorb(result.spans, parent=dispatch_id)
 
     def _notify_done(chunk: Chunk, future) -> None:
         try:
             payload = future.result()
         except BaseException:
             return  # crash handling (and its events) happen in the collector
-        pairs, fresh = _decode_once(chunk, payload)
+        pairs, _chunk_spans, fresh = _decode_once(chunk, payload)
         if not fresh:
             return
         ok = failed = 0
@@ -185,15 +206,18 @@ def _execute_cells(
             requeue: list[tuple[int, CellSpec]] = []
             suspects: list[tuple[int, CellSpec]] = []
             recovered_total = 0
+            submit_t0: dict[str, int] = {}
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = []
                 for chunk in chunks:
                     spill = os.path.join(
                         spill_dir, f"{chunk.chunk_id}.jsonl"
                     )
+                    if spans is not None:
+                        submit_t0[chunk.chunk_id] = spans.now_us()
                     future = pool.submit(
                         run_chunk_task, chunk.cells, policy,
-                        collect_metrics, spill,
+                        collect_metrics, spill, collect_spans,
                     )
                     if metrics is not None:
                         metrics.counter("runtime.chunks_dispatched").inc()
@@ -228,6 +252,14 @@ def _execute_cells(
                         spilled = read_spill(spill)
                         results.update(spilled)
                         recovered_total += len(spilled)
+                        if spans is not None and spilled:
+                            # spill lines carry each completed cell's
+                            # spans: recovered cells keep them exactly
+                            # once (the chunk envelope died unreturned)
+                            _absorb_chunk(
+                                chunk, submit_t0[chunk.chunk_id],
+                                [], spilled.values(),
+                            )
                         incomplete = [
                             (i, cell) for i, cell in chunk.cells
                             if i not in spilled
@@ -249,12 +281,17 @@ def _execute_cells(
                             else:
                                 requeue.extend(incomplete)
                         continue
-                    pairs, _fresh = _decode_once(chunk, payload) if (
-                        bus is not None
-                    ) else (decode_chunk_results(payload), True)
+                    pairs, chunk_spans, _fresh = _decode_once(
+                        chunk, payload
+                    )
                     results.update(dict(pairs))
+                    if spans is not None:
+                        _absorb_chunk(
+                            chunk, submit_t0[chunk.chunk_id],
+                            chunk_spans, [r for _, r in pairs],
+                        )
                     if metrics is not None:
-                        metrics.counter("runtime.chunks_completed").inc()
+                        metrics.counter("runtime.chunks_finished").inc()
             if metrics is not None and recovered_total:
                 metrics.counter(
                     "runtime.cells_recovered_from_spill"
@@ -273,8 +310,11 @@ def _execute_cells(
                     ))
             for index, cell in suspects:
                 results[index] = _run_quarantined(
-                    index, cell, policy, max_crash_attempts, collect_metrics
+                    index, cell, policy, max_crash_attempts,
+                    collect_metrics, collect_spans,
                 )
+                if spans is not None and results[index].spans:
+                    spans.absorb(results[index].spans)
                 if bus is not None:
                     bus.emit(CellFinished(
                         cell.key, results[index].status,
@@ -295,6 +335,7 @@ def run_parallel_sweep(
     metrics=None,
     drain=None,
     chunking: ChunkingPolicy | None = None,
+    spans=None,
 ) -> SweepReport:
     """Fan a sweep out over ``jobs`` persistent worker processes.
 
@@ -325,6 +366,14 @@ def run_parallel_sweep(
     the queued chunks, lets in-flight chunks finish, journals
     everything that completed, and returns with ``report.interrupted``
     set — a ``--resume`` re-run finishes the rest.
+
+    ``spans`` (a :class:`~repro.observability.spans.SpanRecorder`)
+    turns on worker-side span collection: each cell's harness spans
+    and each chunk's ``chunk.execute`` envelope come back in the chunk
+    payload and are absorbed here under per-chunk ``chunk.dispatch``
+    spans — the same merge path metrics take, and like metrics it
+    never changes the journal (spans are wall-clock, so they are never
+    journaled at all).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -352,7 +401,7 @@ def run_parallel_sweep(
     results, interrupted = _execute_cells(
         pending, jobs, policy,
         collect_metrics=metrics is not None, bus=bus, drain=drain,
-        chunking=chunking, metrics=metrics,
+        chunking=chunking, metrics=metrics, spans=spans,
     )
 
     report = SweepReport(interrupted=interrupted)
@@ -374,24 +423,26 @@ def run_parallel_sweep(
                 result.error or "cell failed",
             )
         if result.status == CELL_OK:
-            journal.record_ok(
-                result.name, result.n_threads,
-                attempts=result.attempts,
-                total_cycles=result.total_cycles,
-                truncated=result.truncated,
-                metrics=result.metrics,
-            )
+            with maybe_span(spans, "journal.write", cat="sweep"):
+                journal.record_ok(
+                    result.name, result.n_threads,
+                    attempts=result.attempts,
+                    total_cycles=result.total_cycles,
+                    truncated=result.truncated,
+                    metrics=result.metrics,
+                )
             if metrics is not None and result.metrics is not None:
                 metrics.absorb(result.metrics)
                 metrics.counter("runtime.cells_ok").inc()
         else:
-            journal.record_failure(
-                result.name, result.n_threads,
-                attempts=result.attempts,
-                error=result.error or "",
-                error_type=result.error_type or "",
-                snapshot=result.snapshot,
-            )
+            with maybe_span(spans, "journal.write", cat="sweep"):
+                journal.record_failure(
+                    result.name, result.n_threads,
+                    attempts=result.attempts,
+                    error=result.error or "",
+                    error_type=result.error_type or "",
+                    snapshot=result.snapshot,
+                )
             if metrics is not None:
                 metrics.counter("runtime.cells_failed").inc()
                 if result.error_type == WORKER_CRASH:

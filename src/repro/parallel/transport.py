@@ -101,6 +101,10 @@ def result_to_dict(result: CellResult) -> dict:
     # the journal will carry a metrics key for this cell
     if result.metrics is not None:
         doc["metrics"] = result.metrics
+    # spans likewise absent when collection is off — and, unlike
+    # metrics, never journaled (wall-clock is nondeterministic)
+    if result.spans is not None:
+        doc["spans"] = result.spans
     return doc
 
 
@@ -127,6 +131,7 @@ def result_from_dict(doc: dict) -> CellResult:
         error_type=doc["error_type"],
         snapshot=doc["snapshot"],
         metrics=doc.get("metrics"),
+        spans=doc.get("spans"),
     )
 
 
@@ -136,21 +141,49 @@ def result_from_dict(doc: dict) -> CellResult:
 
 
 def encode_chunk_results(
-    results: list[tuple[int, CellResult]]
+    results: list[tuple[int, CellResult]],
+    spans: list | None = None,
 ) -> bytes:
-    """One chunk's (sweep-index, result) pairs as canonical JSON bytes."""
+    """One chunk's (sweep-index, result) pairs as canonical JSON bytes.
+
+    ``spans`` carries the *chunk-level* worker span rows (e.g. the
+    ``chunk.execute`` envelope; per-cell spans ride inside each
+    result).  With spans disabled the payload stays the legacy bare
+    list — byte-identical to pre-span builds.
+    """
     payload = [
         {"index": index, "result": result_to_dict(result)}
         for index, result in results
     ]
+    if spans is not None:
+        doc: dict = {"results": payload, "spans": spans}
+        return json.dumps(doc, separators=_SEPARATORS).encode("utf-8")
     return json.dumps(payload, separators=_SEPARATORS).encode("utf-8")
 
 
+def decode_chunk_payload(
+    payload: bytes,
+) -> tuple[list[tuple[int, CellResult]], list]:
+    """Decode a chunk payload into (pairs, chunk-level span rows).
+
+    Accepts both payload shapes: the legacy bare list (spans disabled)
+    and the ``{"results": ..., "spans": ...}`` envelope.
+    """
+    doc = json.loads(payload.decode("utf-8"))
+    if isinstance(doc, dict):
+        entries = doc["results"]
+        spans = doc.get("spans") or []
+    else:
+        entries, spans = doc, []
+    return (
+        [(entry["index"], result_from_dict(entry["result"]))
+         for entry in entries],
+        spans,
+    )
+
+
 def decode_chunk_results(payload: bytes) -> list[tuple[int, CellResult]]:
-    return [
-        (entry["index"], result_from_dict(entry["result"]))
-        for entry in json.loads(payload.decode("utf-8"))
-    ]
+    return decode_chunk_payload(payload)[0]
 
 
 # ----------------------------------------------------------------------

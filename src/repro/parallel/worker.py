@@ -41,6 +41,7 @@ from repro.experiments.runner import (
     RunPolicy,
 )
 from repro.observability.metrics import harvest_cell_metrics
+from repro.observability.spans import SpanRecorder
 from repro.parallel.cells import KILL_ENV, CellResult, CellSpec
 from repro.parallel.transport import append_spill, encode_chunk_results
 
@@ -113,8 +114,16 @@ def reset_worker_caches() -> None:
     _CACHES.clear()
 
 
+def span_origin() -> str:
+    """Span lane label for this worker process."""
+    return f"worker-{os.getpid()}"
+
+
 def run_cell_task(
-    cell: CellSpec, policy: RunPolicy, collect_metrics: bool = False
+    cell: CellSpec,
+    policy: RunPolicy,
+    collect_metrics: bool = False,
+    collect_spans: bool = False,
 ) -> CellResult:
     """Execute one cell in the current process.
 
@@ -132,6 +141,16 @@ def run_cell_task(
     :func:`~repro.observability.metrics.harvest_cell_metrics` the
     serial runner uses — which is what makes serial and parallel
     journals byte-identical even with metrics enabled.
+
+    With ``collect_spans`` a fresh per-cell
+    :class:`~repro.observability.spans.SpanRecorder` is pointed at the
+    warm runner for just this cell, and the resulting rows travel on
+    ``CellResult.spans`` — so they ride the spill protocol too, and a
+    spill-recovered cell keeps its spans exactly once.  A per-cell
+    recorder (rather than a per-worker one) is what makes that work:
+    the result is self-contained.  ``runner.spans`` is a mutable
+    attribute *outside* the :class:`WorkerCaches` key on purpose —
+    cache keys may only hold frozen inputs.
     """
     if os.environ.get(KILL_ENV) == cell.key:
         os._exit(17)  # simulated hard worker death (test hook)
@@ -145,7 +164,13 @@ def run_cell_task(
         runner.fault_plan = {cell.key: (cell.fault, cell.fault_seed)}
     else:
         runner.fault_plan = {}
-    outcome = runner.run_cell(cell.spec, cell.n_threads)
+    recorder = SpanRecorder(origin=span_origin()) if collect_spans else None
+    runner.spans = recorder
+    try:
+        outcome = runner.run_cell(cell.spec, cell.n_threads)
+    finally:
+        runner.spans = None
+    span_rows = recorder.to_dicts() if recorder is not None else None
     if outcome.status == CELL_OK:
         result = outcome.result
         assert result is not None
@@ -166,6 +191,7 @@ def run_cell_task(
             metrics=(
                 harvest_cell_metrics(result) if collect_metrics else None
             ),
+            spans=span_rows,
         )
     return CellResult(
         name=outcome.name,
@@ -175,6 +201,7 @@ def run_cell_task(
         error=outcome.error,
         error_type=outcome.error_type,
         snapshot=outcome.snapshot,
+        spans=span_rows,
     )
 
 
@@ -183,6 +210,7 @@ def run_chunk_task(
     policy: RunPolicy,
     collect_metrics: bool = False,
     spill_path: str | None = None,
+    collect_spans: bool = False,
 ) -> bytes:
     """Execute one chunk of cells and return canonical JSON bytes.
 
@@ -191,16 +219,33 @@ def run_chunk_task(
     to ``spill_path`` *before* the next cell starts, so a worker death
     mid-chunk loses at most the in-flight cell — the parent recovers
     the spilled results and re-runs only the remainder.
+
+    With ``collect_spans`` each result carries its own span rows (see
+    :func:`run_cell_task`) and the payload envelope additionally ships
+    one ``chunk.execute`` span covering the whole chunk.  With spans
+    disabled the payload bytes are identical to pre-span builds.
     """
     results: list[tuple[int, CellResult]] = []
+    chunk_rec = SpanRecorder(origin=span_origin()) if collect_spans else None
+    execute_id = None
+    if chunk_rec is not None:
+        execute_id = chunk_rec.start(
+            "chunk.execute", cat="parallel", n_cells=len(chunk_cells)
+        )
     spill = open(spill_path, "w") if spill_path is not None else None
     try:
         for index, cell in chunk_cells:
-            result = run_cell_task(cell, policy, collect_metrics)
+            result = run_cell_task(
+                cell, policy, collect_metrics, collect_spans=collect_spans
+            )
             results.append((index, result))
             if spill is not None:
                 append_spill(spill, index, result)
     finally:
         if spill is not None:
             spill.close()
-    return encode_chunk_results(results)
+    chunk_spans = None
+    if chunk_rec is not None:
+        chunk_rec.finish(execute_id)
+        chunk_spans = chunk_rec.to_dicts()
+    return encode_chunk_results(results, spans=chunk_spans)

@@ -57,7 +57,9 @@ from repro.observability.events import (
     SweepFinished,
     SweepStarted,
     WorkerCrashed,
+    WorkerHeartbeat,
 )
+from repro.observability.spans import maybe_span
 from repro.parallel import CellSpec
 from repro.queue.store import (
     DONE,
@@ -182,6 +184,7 @@ def run_queue_sweep(
     resume: bool = False,
     bus=None,
     metrics=None,
+    spans=None,
     *,
     queue_dir: str | Path,
     lease_ttl_s: float = 30.0,
@@ -233,6 +236,7 @@ def run_queue_sweep(
             lease_ttl_s=lease_ttl_s,
             poison_after=poison_after,
             collect_metrics=metrics is not None,
+            collect_spans=spans is not None,
         )
 
     if bus is not None:
@@ -250,7 +254,8 @@ def run_queue_sweep(
 
     report = _merge(
         store, cells, resumed_keys, journal,
-        bus=bus, metrics=metrics, interrupted=interrupted, policy=policy,
+        bus=bus, metrics=metrics, spans=spans,
+        interrupted=interrupted, policy=policy,
     )
     if bus is not None:
         bus.emit(SweepFinished(
@@ -282,6 +287,7 @@ def _supervise(
     fleet = _WorkerFleet(queue_dir, workers, max_respawns, spawn)
     started: set[str] = set()
     finished: set[str] = set()
+    heartbeats_seen: dict[str, float] = {}
     grace_s = max(5.0, 2 * store.lease_ttl_s)
     try:
         while True:
@@ -295,6 +301,7 @@ def _supervise(
             events = store.reclaim_expired()
             _emit_reclaims(events, bus, metrics)
             _emit_transitions(store, started, finished, bus)
+            _emit_heartbeats(store, heartbeats_seen, bus)
             if store.all_terminal():
                 return False
             crashed = fleet.reap_and_respawn()
@@ -340,6 +347,21 @@ def _emit_reclaims(events, bus, metrics) -> None:
             bus.emit(CellRequeued(event.key, event.delay_s))
 
 
+def _emit_heartbeats(store, seen: dict[str, float], bus) -> None:
+    """Translate fresh worker heartbeat files into
+    :class:`WorkerHeartbeat` events (one per new timestamp)."""
+    if bus is None:
+        return
+    for worker, doc in store.worker_heartbeats().items():
+        ts = doc.get("timestamp")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            continue
+        if seen.get(worker) == ts:
+            continue
+        seen[worker] = ts
+        bus.emit(WorkerHeartbeat(worker, ts, doc.get("current_cell")))
+
+
 def _emit_transitions(store, started, finished, bus) -> None:
     if bus is None:
         return
@@ -365,6 +387,7 @@ def _merge(
     *,
     bus,
     metrics,
+    spans=None,
     interrupted: bool,
     policy: RunPolicy,
 ) -> SweepReport:
@@ -373,8 +396,37 @@ def _merge(
     Journal fields come from the same in-cell values the serial runner
     writes (``attempts`` is in-cell retry attempts — infrastructure
     requeues never touch it), so the merged journal is byte-identical
-    to a serial sweep's.
+    to a serial sweep's.  Worker span rows riding on the done records
+    are absorbed into the parent recorder here (under one
+    ``queue.merge`` span) and never journaled — spans are wall-clock.
     """
+    merge_id = (
+        spans.start("queue.merge", cat="queue") if spans is not None else None
+    )
+    try:
+        return _merge_inner(
+            store, cells, resumed_keys, journal,
+            bus=bus, metrics=metrics, spans=spans, merge_id=merge_id,
+            interrupted=interrupted, policy=policy,
+        )
+    finally:
+        if spans is not None:
+            spans.finish(merge_id)
+
+
+def _merge_inner(
+    store: QueueStore,
+    cells: list[CellSpec],
+    resumed_keys: set[str],
+    journal: SweepJournal,
+    *,
+    bus,
+    metrics,
+    spans,
+    merge_id,
+    interrupted: bool,
+    policy: RunPolicy,
+) -> SweepReport:
     report = SweepReport(interrupted=interrupted)
     for cell in cells:
         key = cell.key
@@ -391,14 +443,17 @@ def _merge(
             # --resume re-run picks the cell up from the queue
             report.interrupted = True
             continue
+        if spans is not None and record.get("spans"):
+            spans.absorb(record["spans"], parent=merge_id)
         if record.get("status") == "ok":
-            journal.record_ok(
-                cell.name, cell.n_threads,
-                attempts=record["attempts"],
-                total_cycles=record["total_cycles"],
-                truncated=record["truncated"],
-                metrics=record.get("metrics"),
-            )
+            with maybe_span(spans, "journal.write", cat="sweep"):
+                journal.record_ok(
+                    cell.name, cell.n_threads,
+                    attempts=record["attempts"],
+                    total_cycles=record["total_cycles"],
+                    truncated=record["truncated"],
+                    metrics=record.get("metrics"),
+                )
             if metrics is not None:
                 if record.get("metrics") is not None:
                     metrics.absorb(record["metrics"])
@@ -425,13 +480,14 @@ def _merge(
                 f"poison cell: {record['expiries']} lease expiries "
                 f"(last worker {record.get('last_worker', 'unknown')})"
             )
-            journal.record_failure(
-                cell.name, cell.n_threads,
-                attempts=record["expiries"],
-                error=error,
-                error_type=POISON_CELL,
-                snapshot=record.get("postmortem"),
-            )
+            with maybe_span(spans, "journal.write", cat="sweep"):
+                journal.record_failure(
+                    cell.name, cell.n_threads,
+                    attempts=record["expiries"],
+                    error=error,
+                    error_type=POISON_CELL,
+                    snapshot=record.get("postmortem"),
+                )
             if metrics is not None:
                 metrics.counter("runtime.cells_failed").inc()
             report.outcomes.append(CellOutcome(
@@ -444,13 +500,14 @@ def _merge(
                 snapshot=record.get("postmortem"),
             ))
         else:
-            journal.record_failure(
-                cell.name, cell.n_threads,
-                attempts=record["attempts"],
-                error=record.get("error", ""),
-                error_type=record.get("error_type", ""),
-                snapshot=record.get("snapshot"),
-            )
+            with maybe_span(spans, "journal.write", cat="sweep"):
+                journal.record_failure(
+                    cell.name, cell.n_threads,
+                    attempts=record["attempts"],
+                    error=record.get("error", ""),
+                    error_type=record.get("error_type", ""),
+                    snapshot=record.get("snapshot"),
+                )
             if metrics is not None:
                 metrics.counter("runtime.cells_failed").inc()
             report.outcomes.append(CellOutcome(

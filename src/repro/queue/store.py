@@ -189,6 +189,9 @@ class QueueStore:
         self.lease_ttl_s: float = manifest["lease_ttl_s"]
         self.poison_after: int = manifest["poison_after"]
         self.collect_metrics: bool = manifest.get("collect_metrics", False)
+        # absent in pre-span manifests: attaching a new driver to an
+        # old queue keeps span collection off
+        self.collect_spans: bool = manifest.get("collect_spans", False)
         self._tmp_counter = itertools.count()
         #: reclaimer memory: last expiry count per key (survives corrupt
         #: state files, not process restarts — the manifest does that)
@@ -210,6 +213,7 @@ class QueueStore:
         lease_ttl_s: float = 30.0,
         poison_after: int = 3,
         collect_metrics: bool = False,
+        collect_spans: bool = False,
     ) -> "QueueStore":
         """Initialise a queue directory and enqueue every cell.
 
@@ -244,6 +248,7 @@ class QueueStore:
             "lease_ttl_s": lease_ttl_s,
             "poison_after": poison_after,
             "collect_metrics": collect_metrics,
+            "collect_spans": collect_spans,
         }
         tmp = root / "tmp" / "manifest.tmp"
         with open(tmp, "w") as handle:
@@ -651,6 +656,59 @@ class QueueStore:
         with open(tmp, "w") as handle:
             json.dump(doc, handle, indent=1)
         os.replace(tmp, path)
+        # append-only history alongside the latest-value file: one JSON
+        # line per beat, consumed by `repro report`'s worker-utilization
+        # timeline and validated by tools/validate_trace.py.  Advisory
+        # like the heartbeat itself — an unwritable history never fails
+        # the worker.
+        try:
+            with open(
+                self.root / "workers" / f"{worker}.jsonl", "a"
+            ) as handle:
+                handle.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        except OSError:
+            logger.warning(
+                "queue: could not append heartbeat history for %s", worker
+            )
+
+    def worker_heartbeats(self) -> dict[str, dict]:
+        """Latest heartbeat doc per worker (corrupt files skipped)."""
+        beats: dict[str, dict] = {}
+        workers_dir = self.root / "workers"
+        try:
+            paths = sorted(workers_dir.glob("*.json"))
+        except OSError:
+            return beats
+        for path in paths:
+            try:
+                with open(path) as handle:
+                    doc = json.load(handle)
+            except (json.JSONDecodeError, OSError):
+                continue
+            beats[path.stem] = doc
+        return beats
+
+    def worker_heartbeat_history(self) -> dict[str, list[dict]]:
+        """Every recorded heartbeat per worker, in write order (torn
+        trailing lines dropped)."""
+        history: dict[str, list[dict]] = {}
+        for path in sorted((self.root / "workers").glob("*.jsonl")):
+            docs: list[dict] = []
+            try:
+                with open(path) as handle:
+                    lines = handle.readlines()
+            except OSError:
+                continue
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    docs.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+            history[path.stem] = docs
+        return history
 
     # ------------------------------------------------------------------
     # chaos hooks (one-shot markers so an injected fault fires once)

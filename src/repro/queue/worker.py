@@ -48,8 +48,10 @@ import threading
 import time
 
 from repro.checkpoint import read_header
+from repro.core.components import STACK_ORDER
 from repro.errors import CheckpointError
 from repro.experiments.runner import BatchRunner, CELL_OK
+from repro.observability.spans import SpanRecorder, maybe_span
 from repro.parallel import CellSpec, WorkerCaches
 from repro.queue.store import Lease, QueueStore
 from repro.robustness.drain import (
@@ -122,15 +124,22 @@ class _QueueRunner(BatchRunner):
 
 
 class _LeaseRenewer(threading.Thread):
-    """Renews one lease every TTL/3 until stopped (or told to stall)."""
+    """Renews one lease every TTL/3 until stopped (or told to stall).
+
+    With ``spans`` attached each renewal is recorded retroactively —
+    :meth:`SpanRecorder.record` is thread-safe, and retroactive rows
+    keep the renewer's spans off the worker thread's parent stack.
+    """
 
     def __init__(
-        self, store: QueueStore, lease: Lease, stall: bool = False
+        self, store: QueueStore, lease: Lease, stall: bool = False,
+        spans: SpanRecorder | None = None,
     ) -> None:
         super().__init__(name=f"lease-renew-{lease.key}", daemon=True)
         self.store = store
         self.lease = lease
         self.stall = stall
+        self.spans = spans
         self.lost = threading.Event()
         self._halt = threading.Event()
 
@@ -146,7 +155,15 @@ class _LeaseRenewer(threading.Thread):
                     "chaos: stalling heartbeat for %s", self.lease.key
                 )
                 return
-            if not self.store.renew(self.lease):
+            t0 = self.spans.now_us() if self.spans is not None else 0
+            renewed = self.store.renew(self.lease)
+            if self.spans is not None:
+                self.spans.record(
+                    "queue.lease_renew", "queue",
+                    t0, self.spans.now_us() - t0,
+                    key=self.lease.key, renewed=renewed,
+                )
+            if not renewed:
                 logger.warning(
                     "lease on %s lost (reclaimed); result will be "
                     "discarded at completion", self.lease.key,
@@ -171,6 +188,13 @@ def result_record(outcome, resumed_from_cycle: int | None = None) -> dict:
         # display/diagnostic extras: never merged into the journal
         record["actual_speedup"] = result.stack.actual_speedup
         record["stack_truncated"] = result.stack.truncated
+        # the full component breakdown (deterministic), so `repro
+        # report` can render the speedup stacks of a queue sweep
+        segments = result.stack.segments()
+        record["estimated_speedup"] = result.stack.estimated_speedup
+        record["stack_segments"] = {
+            comp.label: segments[comp] for comp in STACK_ORDER
+        }
         if resumed_from_cycle is not None:
             record["resumed_from_cycle"] = resumed_from_cycle
         return record
@@ -227,7 +251,9 @@ class QueueWorker:
             drain=self.drain,
         )
 
-    def _run_cell(self, lease: Lease) -> dict:
+    def _run_cell(
+        self, lease: Lease, spans: SpanRecorder | None = None
+    ) -> dict:
         cell = lease.cell
         runner = self._runner(cell)
         runner.kill_after_save_key = None
@@ -252,9 +278,16 @@ class QueueWorker:
             return sim
 
         runner._try_resume = _noting_try_resume
+        # the cell's own spans (trace.decode, engine.advance, ...) nest
+        # under queue.run via the runner's thread-local span stack;
+        # runner.spans is a mutable attribute outside the WorkerCaches
+        # key, re-pointed per cell exactly like the pool workers do
+        runner.spans = spans
         try:
-            outcome = runner.run_cell(cell.spec, cell.n_threads)
+            with maybe_span(spans, "queue.run", cat="queue", key=cell.key):
+                outcome = runner.run_cell(cell.spec, cell.n_threads)
         finally:
+            runner.spans = None
             runner._try_resume = original_try_resume
         return result_record(outcome, resumed_from_cycle=resumed_from)
 
@@ -285,8 +318,17 @@ class QueueWorker:
             if self.drain.requested:
                 self._heartbeat(None)
                 return EXIT_DRAINED
+            # per-cell recorder, created before claim so the claim span
+            # can be recorded retroactively once the winner is known;
+            # discarded when the claim comes back empty
+            recorder = (
+                SpanRecorder(origin=self.worker_id)
+                if store.collect_spans else None
+            )
+            t_claim = recorder.now_us() if recorder is not None else 0
             lease = store.claim(self.worker_id)
             if lease is None:
+                recorder = None
                 if run_reclaimer:
                     store.reclaim_expired()
                 if store.all_terminal():
@@ -298,6 +340,11 @@ class QueueWorker:
                     return 0
                 self.drain.wait(self.poll_s)
                 continue
+            if recorder is not None:
+                recorder.record(
+                    "queue.claim", "queue",
+                    t_claim, recorder.now_us() - t_claim, key=lease.key,
+                )
             if os.environ.get(KILL_AT_CLAIM_ENV) == lease.key:
                 if store.chaos_armed("kill-at-claim", lease.key):
                     os._exit(KILL_AT_CLAIM_EXIT)
@@ -305,10 +352,10 @@ class QueueWorker:
             stall = os.environ.get(STALL_HEARTBEAT_ENV) == lease.key and (
                 store.chaos_armed("stall-heartbeat", lease.key)
             )
-            renewer = _LeaseRenewer(store, lease, stall=stall)
+            renewer = _LeaseRenewer(store, lease, stall=stall, spans=recorder)
             renewer.start()
             try:
-                record = self._run_cell(lease)
+                record = self._run_cell(lease, spans=recorder)
             except DrainRequested as exc:
                 renewer.stop()
                 released = store.release(lease)
@@ -321,6 +368,11 @@ class QueueWorker:
                 self._heartbeat(None)
                 return EXIT_DRAINED
             renewer.stop()
+            if recorder is not None:
+                # attached after the renewer stops so late lease-renew
+                # rows are included; the driver's merge absorbs this key
+                # and never journals it (spans are wall-clock)
+                record["spans"] = recorder.to_dicts()
             self.cells_run += 1
             if not store.complete(lease, record):
                 logger.warning(

@@ -13,6 +13,7 @@ import json
 
 from repro.experiments.runner import BatchRunner, RunPolicy
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import SpanRecorder
 from repro.parallel import CellSpec, run_parallel_sweep
 from repro.robustness.journal import SweepJournal
 from repro.workloads.suite import by_name
@@ -21,20 +22,22 @@ SCALE = 0.1
 CELLS = [("cholesky", 2), ("fft", 2)]
 
 
-def serial_journal(path, metrics=None):
+def serial_journal(path, metrics=None, spans=None):
     journal = SweepJournal(str(path))
     runner = BatchRunner(
         policy=RunPolicy(), scale=SCALE, journal=journal, metrics=metrics,
+        spans=spans,
     )
     runner.run_sweep([(by_name(name), n) for name, n in CELLS])
     return path.read_bytes()
 
 
-def parallel_journal(path, metrics=None):
+def parallel_journal(path, metrics=None, spans=None):
     journal = SweepJournal(str(path))
     run_parallel_sweep(
         [CellSpec(by_name(name), n, scale=SCALE) for name, n in CELLS],
         jobs=2, policy=RunPolicy(), journal=journal, metrics=metrics,
+        spans=spans,
     )
     return path.read_bytes()
 
@@ -76,3 +79,38 @@ class TestEnabledPath:
             == parallel_journal(tmp_path / "parallel.json",
                                 MetricsRegistry())
         )
+
+
+class TestSpansDifferential:
+    """Spans are wall-clock, so enabling them must leave journal bytes
+    untouched — for the serial runner and for ``--jobs 2`` (where
+    worker spans travel inside the chunk payload)."""
+
+    def test_serial_journal_unchanged_by_spans(self, tmp_path):
+        plain = serial_journal(tmp_path / "plain.json")
+        recorder = SpanRecorder()
+        with_spans = serial_journal(tmp_path / "spans.json", spans=recorder)
+        assert with_spans == plain
+        assert len(recorder) > 0  # spans actually recorded
+
+    def test_parallel_journal_unchanged_by_spans(self, tmp_path):
+        plain = parallel_journal(tmp_path / "plain.json")
+        recorder = SpanRecorder()
+        with_spans = parallel_journal(
+            tmp_path / "spans.json", spans=recorder
+        )
+        assert with_spans == plain
+        # worker-side cell spans crossed the process boundary and were
+        # absorbed under the parent's chunk.dispatch spans
+        names = {row["name"] for row in recorder.to_dicts()}
+        assert "chunk.dispatch" in names
+        assert "engine.advance" in names
+
+    def test_spans_and_metrics_together_add_only_metrics(self, tmp_path):
+        with_metrics = serial_journal(
+            tmp_path / "metrics.json", MetricsRegistry()
+        )
+        both = serial_journal(
+            tmp_path / "both.json", MetricsRegistry(), SpanRecorder()
+        )
+        assert both == with_metrics

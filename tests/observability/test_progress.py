@@ -9,10 +9,13 @@ from repro.observability.events import (
     CellFinished,
     CellRetry,
     CellStarted,
+    ChunkDispatched,
+    ChunkFinished,
     EventBus,
     SweepFinished,
     SweepStarted,
     WorkerCrashed,
+    WorkerHeartbeat,
 )
 from repro.observability.progress import ProgressReporter, _fmt_duration
 
@@ -25,13 +28,17 @@ class FakeClock:
         return self.t
 
 
-def reporter_with_bus(n_cells=4, jobs=2, heartbeat_path=None):
+def reporter_with_bus(
+    n_cells=4, jobs=2, heartbeat_path=None, heartbeat_log_path=None
+):
     bus = EventBus()
     stream = io.StringIO()
     clock = FakeClock()
     reporter = ProgressReporter(
         n_cells, jobs=jobs, stream=stream,
-        heartbeat_path=heartbeat_path, clock=clock,
+        heartbeat_path=heartbeat_path,
+        heartbeat_log_path=heartbeat_log_path,
+        clock=clock, wall_clock=clock,
     ).attach(bus)
     return bus, reporter, stream, clock
 
@@ -94,6 +101,86 @@ class TestEta:
         clock.t = 1.0
         bus.emit(CellFinished("a:2", "ok", 1))
         assert reporter.eta_seconds() == 0.0
+
+
+class TestChunkedEta:
+    """Under chunked dispatch per-cell durations are chunk-granular, so
+    the reporter must switch to completed-cell throughput."""
+
+    def chunked_bus(self, n_cells=8, jobs=2):
+        bus, reporter, stream, clock = reporter_with_bus(
+            n_cells=n_cells, jobs=jobs,
+        )
+        bus.emit(SweepStarted(n_cells, jobs))
+        bus.emit(ChunkDispatched("c0", ("a:2", "b:2", "c:2", "d:2"), 4.0))
+        return bus, reporter, stream, clock
+
+    def test_throughput_eta_after_chunk_results(self):
+        bus, reporter, _, clock = self.chunked_bus()
+        # a whole 4-cell chunk lands at t=8: each cell *looks* 8s old,
+        # but the true rate is 4 cells / 8s
+        for key in ("a:2", "b:2", "c:2", "d:2"):
+            bus.emit(CellStarted(key, 1))
+        clock.t = 8.0
+        for key in ("a:2", "b:2", "c:2", "d:2"):
+            bus.emit(CellFinished(key, "ok", 1))
+        # 4 remaining at 2s/cell completed-cell throughput -> 8s, where
+        # the mean-duration formula would have said 8s*4/2 jobs = 16s
+        assert reporter.eta_seconds() == 8.0
+
+    def test_no_eta_before_any_cell_completes(self):
+        _, reporter, _, clock = self.chunked_bus()
+        clock.t = 5.0
+        assert reporter.eta_seconds() is None
+
+    def test_zero_eta_when_done(self):
+        bus, reporter, _, clock = self.chunked_bus(n_cells=4)
+        for key in ("a:2", "b:2", "c:2", "d:2"):
+            bus.emit(CellFinished(key, "ok", 1))
+        bus.emit(ChunkFinished("c0", 4, 4, 0))
+        assert reporter.eta_seconds() == 0.0
+
+    def test_chunk_counters_rendered(self):
+        bus, _, stream, _ = self.chunked_bus()
+        bus.emit(ChunkFinished("c0", 4, 4, 0))
+        assert "chunks=1/1" in stream.getvalue().splitlines()[-1]
+
+
+class TestWorkerHeartbeats:
+    def test_heartbeat_ages_in_line(self):
+        bus, reporter, stream, clock = reporter_with_bus()
+        clock.t = 10.0
+        bus.emit(WorkerHeartbeat("w0", 10.0, "a:2"))
+        bus.emit(WorkerHeartbeat("w1", 10.0, None))
+        clock.t = 13.5
+        bus.emit(CellStarted("a:2", 1))
+        last = stream.getvalue().splitlines()[-1]
+        assert "hb w0=3.5s w1=3.5s" in last
+
+    def test_heartbeats_refresh_file_without_printing(self, tmp_path):
+        path = tmp_path / "hb.json"
+        bus, _, stream, clock = reporter_with_bus(heartbeat_path=str(path))
+        clock.t = 5.0
+        bus.emit(WorkerHeartbeat("w0", 4.0, "a:2"))
+        assert stream.getvalue() == ""  # no stderr line for a heartbeat
+        doc = json.loads(path.read_text())
+        assert doc["workers"] == {
+            "w0": {"age_s": 1.0, "current_cell": "a:2"},
+        }
+
+    def test_heartbeat_log_appends_history(self, tmp_path):
+        log = tmp_path / "hb.jsonl"
+        bus, _, _, clock = reporter_with_bus(
+            heartbeat_log_path=str(log),
+        )
+        bus.emit(CellStarted("a:2", 1))
+        clock.t = 1.0
+        bus.emit(CellFinished("a:2", "ok", 1))
+        lines = [json.loads(line) for line in log.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["done"] == 0 and lines[1]["done"] == 1
+        # history is valid under the artifact validator's rules
+        assert lines[0]["timestamp"] <= lines[1]["timestamp"]
 
 
 class TestHeartbeat:

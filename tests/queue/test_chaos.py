@@ -107,6 +107,58 @@ def test_chaos_sweep_matches_serial(tmp_path, monkeypatch, serial_journal):
     }
 
 
+def test_spans_merge_exactly_once_under_worker_death(tmp_path, monkeypatch):
+    """Worker death mid-cell must not duplicate or drop spans: the
+    fenced ``complete`` writes each cell's span batch on the terminal
+    record only, so the merged document carries every cell exactly once
+    — including the cell that crash-resumed from a checkpoint."""
+    from repro.observability.spans import SpanRecorder, validate_span_rows
+
+    killed = "cholesky:2"
+    monkeypatch.setenv("REPRO_TEST_KILL_AFTER_SAVE", killed)
+    spans = SpanRecorder()
+    cells = cells_from_sweep(
+        sweep_cells(("cholesky", "fft"), (2,)), scale=SCALE,
+    )
+    report = run_queue_sweep(
+        cells,
+        workers=2,
+        policy=RunPolicy(
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_every=CHECKPOINT_EVERY,
+        ),
+        journal=SweepJournal(str(tmp_path / "journal.json")),
+        spans=spans,
+        queue_dir=tmp_path / "q",
+        lease_ttl_s=LEASE_TTL_S,
+    )
+    assert report.ok and len(report.completed) == 2
+
+    store = QueueStore(tmp_path / "q")
+    assert store.result(killed)["resumed_from_cycle"] >= CHECKPOINT_EVERY
+
+    rows = spans.to_dicts()
+    assert validate_span_rows(rows) == []
+    by_name: dict[str, list[dict]] = {}
+    for row in rows:
+        by_name.setdefault(row["name"], []).append(row)
+    # one terminal record per cell -> exactly one queue.run span and one
+    # cell span each, even for the killed-and-resumed cell
+    assert len(by_name["queue.run"]) == 2
+    for key in ("cholesky:2", "fft:2"):
+        assert len(by_name[key]) == 1, f"{key}: {by_name.get(key)}"
+    # the resumed cell's spans came from the worker that finished it
+    (killed_span,) = by_name[killed]
+    assert killed_span["origin"].startswith("w")  # a worker, not "main"
+    # driver-side merge structure: everything absorbed under queue.merge
+    (merge,) = by_name["queue.merge"]
+    assert all(
+        row["parent"] is not None
+        for run in by_name["queue.run"] for row in [run]
+    )
+    assert {row["parent"] for row in by_name["queue.run"]} == {merge["id"]}
+
+
 def test_corrupt_lease_mid_sweep_is_reclaimed(tmp_path):
     """Scribbling garbage over a live lease file mid-sweep must not
     strand the cell: the reclaimer treats corrupt leases as expired and

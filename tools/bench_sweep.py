@@ -45,6 +45,13 @@ def main(argv=None) -> int:
     parser.add_argument("--max-cycles", type=int, default=DEFAULT_MAX_CYCLES)
     parser.add_argument("--out", default="BENCH_sweep.json",
                         help="output JSON path (default: BENCH_sweep.json)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile one serial cell with the "
+                             "deterministic profiler (adds a `profile` "
+                             "section and a collapsed-stack file)")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="collapsed-stack output path (default "
+                             "profile_collapsed.txt; implies --profile)")
     parser.add_argument("--max-observability-overhead", type=float,
                         default=None, metavar="PCT",
                         help="fail (exit 1) when enabled-instrumentation "
@@ -77,6 +84,7 @@ def main(argv=None) -> int:
     benchmarks = (
         tuple(args.benchmarks.split(",")) if args.benchmarks else None
     )
+    profile = args.profile or args.profile_out is not None
     doc = run_bench(
         benchmarks=benchmarks,
         thread_counts=tuple(int(n) for n in args.threads.split(",")),
@@ -84,9 +92,17 @@ def main(argv=None) -> int:
         jobs_list=jobs_list,
         repeats=args.repeats,
         max_cycles=args.max_cycles,
+        profile=profile,
     )
+    if profile:
+        collapsed = doc["profile"].pop("collapsed")
+        profile_out = args.profile_out or "profile_collapsed.txt"
+        with open(profile_out, "w") as handle:
+            handle.write("\n".join(collapsed) + "\n")
     write_bench(doc, args.out)
     print(render_bench(doc))
+    if profile:
+        print(f"collapsed stacks written to {profile_out}")
     print(f"written to {args.out}")
     if args.max_observability_overhead is not None:
         overhead = doc["observability"]["overhead_pct"]

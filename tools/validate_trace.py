@@ -1,12 +1,28 @@
 #!/usr/bin/env python
-"""Validate a Chrome trace-event JSON file written by ``repro trace``.
+"""Validate the observability artifacts the CLI writes.
 
-Structural validation (the checks Chrome/Perfetto actually need to load
-the file) plus trace-specific sanity: every interval lies inside the
-recorded total-cycle span and each core's tracks carry name metadata.
+Three kinds of document, selected with ``--kind`` (default ``auto``,
+which sniffs the file):
+
+* ``trace`` — Chrome trace-event JSON from ``repro trace``:
+  structural validation (the checks Chrome/Perfetto actually need to
+  load the file) plus trace-specific sanity — every simulator interval
+  lies inside the recorded total-cycle span and each core's tracks
+  carry name metadata.  Harness-span tracks (pid ≥
+  ``SPAN_PID_BASE``) are exempt from the total-cycles containment
+  check: their timestamps are wall-clock microseconds, not cycles.
+* ``spans`` — a ``--emit-spans`` document: schema, unique ids,
+  parents seen before children, non-negative times, same-origin
+  ordering (:func:`repro.observability.validate_span_rows`).
+* ``heartbeat-log`` — a ``--heartbeat-log`` JSONL history (or a queue
+  ``workers/*.jsonl`` file): one JSON object per line, numeric
+  non-decreasing timestamps, ``done`` never exceeding ``total``.
+
 Run from the repo root::
 
     PYTHONPATH=src python tools/validate_trace.py trace.json
+    PYTHONPATH=src python tools/validate_trace.py --kind spans spans.json
+    PYTHONPATH=src python tools/validate_trace.py hb.jsonl
 
 Exit status 0 when the document is valid, 1 with one problem per line
 on stderr otherwise — made for CI smoke jobs.
@@ -23,7 +39,11 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
-from repro.observability import validate_trace_events  # noqa: E402
+from repro.observability import (  # noqa: E402
+    SPAN_PID_BASE,
+    validate_span_rows,
+    validate_trace_events,
+)
 
 
 def extra_checks(doc: dict) -> list[str]:
@@ -43,6 +63,10 @@ def extra_checks(doc: dict) -> list[str]:
                 f"traceEvents[{i}]: interval on unnamed pid "
                 f"{event.get('pid')!r}"
             )
+        if isinstance(event.get("pid"), int) and event["pid"] >= SPAN_PID_BASE:
+            # harness-span lanes: wall-clock microseconds, unrelated to
+            # the simulated-cycle axis below
+            continue
         if total is not None and event["ts"] + event["dur"] > total:
             problems.append(
                 f"traceEvents[{i}]: interval ends at "
@@ -51,31 +75,120 @@ def extra_checks(doc: dict) -> list[str]:
     return problems
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("path", help="trace-event JSON file to validate")
-    args = parser.parse_args(argv)
+def validate_heartbeat_lines(lines: list[str]) -> list[str]:
+    """Problems in a heartbeat JSONL history (``--heartbeat-log`` or a
+    queue's ``workers/<id>.jsonl``)."""
+    problems: list[str] = []
+    last_ts: float | None = None
+    n_docs = 0
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i + 1}: not JSON ({exc})")
+            continue
+        if not isinstance(doc, dict):
+            problems.append(f"line {i + 1}: not a JSON object")
+            continue
+        n_docs += 1
+        ts = doc.get("timestamp")
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            problems.append(
+                f"line {i + 1}: timestamp {ts!r} is not a number"
+            )
+        else:
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"line {i + 1}: timestamp {ts} goes backwards "
+                    f"(previous {last_ts})"
+                )
+            last_ts = ts
+        done, total = doc.get("done"), doc.get("total")
+        if (
+            isinstance(done, int) and isinstance(total, int)
+            and done > total
+        ):
+            problems.append(
+                f"line {i + 1}: done {done} exceeds total {total}"
+            )
+    if n_docs == 0:
+        problems.append("no heartbeat documents in file")
+    return problems
 
+
+def _sniff_kind(path: str, text: str) -> str:
+    if path.endswith(".jsonl"):
+        return "heartbeat-log"
     try:
-        with open(args.path) as handle:
-            doc = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        # many JSON objects on separate lines parse as JSONL only
+        return "heartbeat-log"
+    if isinstance(doc, dict) and "spans" in doc and "traceEvents" not in doc:
+        return "spans"
+    return "trace"
+
+
+def _validate_one(path: str, forced_kind: str) -> int:
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    problems = validate_trace_events(doc) + extra_checks(doc)
+    kind = forced_kind if forced_kind != "auto" else _sniff_kind(path, text)
+
+    if kind == "heartbeat-log":
+        problems = validate_heartbeat_lines(text.splitlines())
+        summary = f"{len(text.splitlines())} heartbeat lines"
+    else:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if kind == "spans":
+            rows = doc.get("spans") if isinstance(doc, dict) else None
+            if not isinstance(rows, list):
+                problems = ["document has no 'spans' list"]
+                rows = []
+            else:
+                problems = validate_span_rows(rows)
+            summary = f"{len(rows)} spans"
+        else:
+            problems = validate_trace_events(doc) + extra_checks(doc)
+            events = doc.get("traceEvents", [])
+            n_intervals = sum(1 for e in events if e.get("ph") == "X")
+            summary = f"{len(events)} events, {n_intervals} intervals"
+
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)
-        print(f"INVALID: {len(problems)} problem(s) in {args.path}",
+        print(f"INVALID: {len(problems)} problem(s) in {path}",
               file=sys.stderr)
         return 1
 
-    events = doc["traceEvents"]
-    n_intervals = sum(1 for e in events if e.get("ph") == "X")
-    print(f"{args.path}: valid ({len(events)} events, "
-          f"{n_intervals} intervals)")
+    print(f"{path}: valid {kind} ({summary})")
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="+", metavar="path",
+        help="artifact file(s) to validate",
+    )
+    parser.add_argument(
+        "--kind", choices=("auto", "trace", "spans", "heartbeat-log"),
+        default="auto",
+        help="artifact type (default: sniff from extension/contents)",
+    )
+    args = parser.parse_args(argv)
+    return max(_validate_one(path, args.kind) for path in args.paths)
 
 
 if __name__ == "__main__":
