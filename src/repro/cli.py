@@ -189,6 +189,7 @@ def _stack_run(args, spec, experiment, drain) -> int:
     if getattr(args, "llc_mb", None):
         machine = machine.with_llc_size(int(args.llc_mb * MB))
     run = experiment.run
+    engine = args.engine if args.engine is not None else run.engine
     hook = None
     if args.checkpoint:
         descriptor = cell_descriptor(
@@ -213,6 +214,7 @@ def _stack_run(args, spec, experiment, drain) -> int:
         # the drain wrapper turns the engine's checkpoint poll into the
         # SIGINT/SIGTERM drain point (saving first when --checkpoint)
         checkpoint=DrainableHook(hook, drain),
+        engine=engine,
     )
     print(render_stack(result.stack))
     print()
@@ -235,7 +237,13 @@ def _stack_resume(args, spec, experiment, drain) -> int:
                   f"{descriptor['benchmark']}, not {spec.full_name}",
                   file=sys.stderr)
             return 2
-        sim, header = resume_simulation(args.resume_from, spec=spec)
+        sim, header = resume_simulation(
+            args.resume_from, spec=spec,
+            engine=(
+                args.engine if args.engine is not None
+                else experiment.run.engine
+            ),
+        )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -281,6 +289,7 @@ def _stack_resume(args, spec, experiment, drain) -> int:
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout="truncate" if max_cycles is not None else "raise",
+        engine=args.engine if args.engine is not None else run.engine,
     )
     ts = None if st_result.truncated else st_result.total_cycles
     stack = build_stack(spec.full_name, report, ts_cycles=ts)
@@ -527,6 +536,7 @@ def cmd_sweep(args) -> int:
             else run.checkpoint_every
         ),
         checkpoint_dir=checkpoint_dir,
+        engine=args.engine if args.engine is not None else run.engine,
     )
     fault_plan = _parse_injections(args.inject)
     journal = SweepJournal(args.journal)
@@ -823,6 +833,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stack", help="speedup stack for one benchmark")
     common(p, configurable=True)
+    p.add_argument("--engine", default=None, metavar="NAME",
+                   help="engine backend: reference (default) or "
+                        "vectorized (needs numpy; identical results, "
+                        "faster wall-clock)")
     p.add_argument("--checkpoint", metavar="PATH", default=None,
                    help="save engine checkpoints to this file")
     p.add_argument("--checkpoint-every", type=int, default=None,
@@ -918,6 +932,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--livelock-window", type=int, default=None,
                    help="watchdog: truncate after this many cycles without "
                         "forward progress")
+    p.add_argument("--engine", default=None, metavar="NAME",
+                   help="engine backend: reference (default) or "
+                        "vectorized (needs numpy; identical results, "
+                        "faster wall-clock)")
     p.add_argument("--inject", action="append", metavar="KIND@BENCH:N",
                    help=f"inject a fault into one cell; KIND is one of "
                         f"{', '.join(FAULT_KINDS)} (repeatable)")

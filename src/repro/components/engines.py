@@ -1,0 +1,39 @@
+"""Engine backends registered as swappable components.
+
+The ``engine`` kind selects which simulation engine a run uses:
+
+* ``reference`` — :class:`~repro.sim.engine.Simulation`, the per-op
+  conservative loop every other backend is validated against (the
+  default);
+* ``vectorized`` — :class:`~repro.sim.engine_vec.VectorizedSimulation`,
+  flat-array cache/ATD runtime state plus spin event-horizon batching;
+  requires numpy (the ``vectorized`` extra) and produces exactly the
+  reference results.
+
+Factories are lazy functions, not the engine classes themselves: this
+module is imported by ``repro.components`` for its registration side
+effect, which happens while ``repro.config`` (and therefore
+``repro.sim.engine``, whose import triggers it) may still be mid-import
+— a module-level engine import here would be circular.  The cost is
+deferred to the first ``resolve("engine", ...)`` call.
+"""
+
+from __future__ import annotations
+
+from repro.components.registry import register
+
+
+@register("engine", "reference")
+def reference_engine(*args, **kwargs):
+    """Per-op conservative engine (the validation baseline)."""
+    from repro.sim.engine import Simulation
+
+    return Simulation(*args, **kwargs)
+
+
+@register("engine", "vectorized")
+def vectorized_engine(*args, **kwargs):
+    """Flat-state engine with event-horizon fast-forward (needs numpy)."""
+    from repro.sim.engine_vec import VectorizedSimulation
+
+    return VectorizedSimulation(*args, **kwargs)

@@ -101,6 +101,20 @@ class ExperimentResult:
         return (mt_real - st_instrs) / st_instrs
 
 
+def _engine_factory(engine: str):
+    """Resolve an engine-backend name to its factory.
+
+    ``"engine"`` is a registry kind like ``"replacement"`` or
+    ``"scheduler"``: ``"reference"`` is the per-op loop every backend is
+    validated against, ``"vectorized"`` the flat-state backend (see
+    :mod:`repro.components.engines`).  Both produce exactly the same
+    results; backends differ only in wall-clock speed.
+    """
+    from repro.components.registry import resolve
+
+    return resolve("engine", engine)
+
+
 def run_accounted(
     machine: MachineConfig,
     program: Program,
@@ -109,6 +123,7 @@ def run_accounted(
     on_timeout: str = "raise",
     bus=None,
     checkpoint=None,
+    engine: str = "reference",
 ) -> tuple[SimResult, AccountingReport]:
     """One multi-threaded run with the accounting hardware attached.
 
@@ -117,9 +132,11 @@ def run_accounted(
     an observability :class:`~repro.observability.events.EventBus` to
     both the engine and the accountant.  ``checkpoint`` arms a
     :class:`~repro.checkpoint.policy.CheckpointHook` on the engine.
+    ``engine`` picks the backend (results are backend-invariant).
     """
     accountant = CycleAccountant(machine, bus=bus)
-    result = Simulation(machine, program, accountant, bus=bus).run(
+    sim = _engine_factory(engine)(machine, program, accountant, bus=bus)
+    result = sim.run(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
@@ -134,6 +151,7 @@ def accounted_snapshot(
     max_cycles: int | None = None,
     livelock_window: int | None = None,
     on_timeout: str = "raise",
+    engine: str = "reference",
 ) -> dict:
     """One accounted run, returning the accountant's cumulative counter
     snapshot (:meth:`CycleAccountant.snapshot`).
@@ -144,7 +162,7 @@ def accounted_snapshot(
     differences two of these; callers here get the end-of-run totals.
     """
     accountant = CycleAccountant(machine)
-    Simulation(machine, program, accountant).run(
+    _engine_factory(engine)(machine, program, accountant).run(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
@@ -158,6 +176,7 @@ def run_reference(
     max_cycles: int | None = None,
     livelock_window: int | None = None,
     on_timeout: str = "raise",
+    engine: str = "reference",
 ) -> SimResult:
     """Single-threaded reference run of a one-thread program on one core
     of the same machine (no accounting hardware needed)."""
@@ -166,7 +185,7 @@ def run_reference(
             "reference run expects the single-threaded program variant"
         )
     single_core = machine.with_cores(1)
-    return Simulation(single_core, program).run(
+    return _engine_factory(engine)(single_core, program).run(
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
@@ -184,6 +203,7 @@ def run_experiment(
     bus=None,
     checkpoint=None,
     spans=None,
+    engine: str = "reference",
 ) -> ExperimentResult:
     """Full protocol: (optional) reference run, accounted run, stack.
 
@@ -193,6 +213,9 @@ def run_experiment(
     reference run is cheap to recompute and fully deterministic).
     ``spans`` (a :class:`~repro.observability.spans.SpanRecorder`)
     times the harness phases — ST reference, engine advance, harvest.
+    ``engine`` selects the backend for both runs; every backend
+    produces the same cycles and stacks, so the choice only changes
+    wall-clock time.
     """
     st_result = None
     ts = None
@@ -203,6 +226,7 @@ def run_experiment(
                 max_cycles=max_cycles,
                 livelock_window=livelock_window,
                 on_timeout=on_timeout,
+                engine=engine,
             )
         ts = None if st_result.truncated else st_result.total_cycles
     with maybe_span(spans, "engine.advance", cat="cell"):
@@ -213,6 +237,7 @@ def run_experiment(
             on_timeout=on_timeout,
             bus=bus,
             checkpoint=checkpoint,
+            engine=engine,
         )
     with maybe_span(spans, "harvest", cat="cell"):
         stack = build_stack(name, report, ts_cycles=ts)
@@ -287,6 +312,9 @@ class RunPolicy:
     livelock_window: int | None = None
     checkpoint_every: int | None = None
     checkpoint_dir: str | None = None
+    #: engine backend for every run of the sweep (backend-invariant
+    #: results; see repro.components.engines)
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.on_error not in ON_ERROR_MODES:
@@ -340,6 +368,7 @@ class RunPolicy:
             livelock_window=run.livelock_window,
             checkpoint_every=run.checkpoint_every,
             checkpoint_dir=run.checkpoint_dir,
+            engine=run.engine,
         )
 
 
@@ -666,6 +695,7 @@ class BatchRunner:
                     on_timeout="truncate",
                     bus=self.bus,
                     checkpoint=hook,
+                    engine=self.policy.engine,
                 )
         if sim is not None:
             report = sim.accountant.report(mt_result)
@@ -742,6 +772,7 @@ class BatchRunner:
             sim, header = resume_simulation(
                 hook.path, spec=spec,
                 expected_descriptor=hook.descriptor, bus=self.bus,
+                engine=self.policy.engine,
             )
         except CheckpointError as exc:
             logger.warning(
@@ -776,6 +807,7 @@ class BatchRunner:
                 max_cycles=self.policy.max_cycles,
                 livelock_window=self.policy.livelock_window,
                 on_timeout="truncate",
+                engine=self.policy.engine,
             )
             self._st_cache[key] = st_result
         return st_result

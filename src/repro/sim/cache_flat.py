@@ -1,0 +1,263 @@
+"""Flat-array set-associative tag store (vectorized-engine runtime).
+
+PR 5 flattened cache *serialization* into per-set parallel arrays
+(``[set_index, [lines...], [dirty...]]`` triples).  This module finishes
+the job for the runtime side: :class:`FlatSetAssocCache` keeps each set
+as two parallel position-indexed arrays — a tag array and a dirty-bit
+array — whose position order *is* the replacement order (eviction
+candidate at index 0, most recently inserted/used at the end).  That is
+exactly the on-disk layout, so ``state_dict()`` serializes by slicing
+instead of walking ``OrderedDict`` items, and checkpoints round-trip
+losslessly between this store and the reference
+:class:`~repro.sim.cache.SetAssocCache` in either direction.
+
+The flat layout hard-codes the front-eviction rule shared by the
+``lru`` and ``fifo`` policies (they differ only in promote-on-hit).
+Policies that need more than a position order — seeded ``random`` draws
+an RNG per eviction over the mapping view — are not representable as a
+plain position array, so :meth:`FlatSetAssocCache.supports` reports
+which configs the flat store can stand in for; the vectorized engine
+falls back to the reference store otherwise.
+
+Why arrays and not numpy: per-op numpy indexing on 4–16-element sets is
+~18x slower than C-level list scans (measured in the PR that added this
+file); numpy earns its keep in the engine's *bulk* kernels (warm-stream
+materialization), not in single-line probes.
+"""
+
+from __future__ import annotations
+
+from repro.components.registry import resolve
+from repro.config import CacheConfig
+from repro.sim.address import CacheGeometry
+
+#: replacement policies whose victim is always the front of the
+#: position order (what a flat array can encode)
+FLAT_POLICIES = ("lru", "fifo")
+
+
+class FlatSetAssocCache:
+    """Tag-only set-associative cache over flat per-set arrays.
+
+    Drop-in interface-compatible with
+    :class:`~repro.sim.cache.SetAssocCache` (same methods, counters and
+    ``state_dict`` format) for ``lru``/``fifo`` replacement.  Each set
+    is a pair of parallel lists: ``tags[i]`` is the line address at
+    replacement position ``i`` (0 = eviction candidate), ``dirty[i]``
+    its dirty bit.
+    """
+
+    __slots__ = ("geometry", "assoc", "generation", "n_hits", "n_misses",
+                 "n_evictions", "_tags", "_dirty", "_set_mask", "_sparse",
+                 "_promote_on_hit")
+
+    def __init__(self, config: CacheConfig, *, sparse: bool = False) -> None:
+        if config.replacement not in FLAT_POLICIES:
+            raise ValueError(
+                f"FlatSetAssocCache encodes front-eviction policies "
+                f"{FLAT_POLICIES}, not {config.replacement!r}; use "
+                f"SetAssocCache (see FlatSetAssocCache.supports)"
+            )
+        self.geometry = CacheGeometry.from_config(config)
+        self.assoc = config.assoc
+        self._set_mask = config.n_sets - 1
+        self._sparse = sparse
+        if sparse:
+            # sparse users (ATDs) touch 1-in-sample_period sets; sets
+            # materialize on first touch, in touch order (the order the
+            # state_dict triples serialize in — same as the reference
+            # sparse store's defaultdict insertion order)
+            self._tags: dict[int, list[int]] = {}
+            self._dirty: dict[int, list[bool]] = {}
+        else:
+            self._tags = [[] for _ in range(config.n_sets)]
+            self._dirty = [[] for _ in range(config.n_sets)]
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_evictions = 0
+        self.generation = 0
+        policy = resolve("replacement", config.replacement)(config)
+        self._promote_on_hit = policy.promote_on_hit
+
+    @staticmethod
+    def supports(config: CacheConfig) -> bool:
+        """Whether the flat layout reproduces this config exactly."""
+        return config.replacement in FLAT_POLICIES
+
+    # ------------------------------------------------------------------
+    # set access helpers
+    # ------------------------------------------------------------------
+
+    def _set(self, index: int) -> tuple[list[int], list[bool]]:
+        if self._sparse:
+            tags = self._tags.get(index)
+            if tags is None:
+                tags = self._tags[index] = []
+                self._dirty[index] = []
+            return tags, self._dirty[index]
+        return self._tags[index], self._dirty[index]
+
+    def set_index_of(self, line_addr: int) -> int:
+        return line_addr & self._set_mask
+
+    # ------------------------------------------------------------------
+    # probes and fills (reference-identical semantics)
+    # ------------------------------------------------------------------
+
+    def lookup(self, line_addr: int, *, update_lru: bool = True) -> bool:
+        tags, dirty = self._set(line_addr & self._set_mask)
+        # MRU fast path: repeated touches of the hottest line (spin
+        # loads, streaming reuse) skip the position scan entirely
+        if tags and tags[-1] == line_addr:
+            self.n_hits += 1
+            return True
+        if line_addr in tags:
+            if update_lru and self._promote_on_hit:
+                pos = tags.index(line_addr)
+                tags.append(tags.pop(pos))
+                dirty.append(dirty.pop(pos))
+            self.n_hits += 1
+            return True
+        self.n_misses += 1
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        if self._sparse:
+            tags = self._tags.get(line_addr & self._set_mask)
+            return tags is not None and line_addr in tags
+        return line_addr in self._tags[line_addr & self._set_mask]
+
+    def fill(
+        self, line_addr: int, *, dirty: bool = False, owner: int = 0
+    ) -> tuple[int, bool] | None:
+        tags, bits = self._set(line_addr & self._set_mask)
+        if tags and tags[-1] == line_addr:
+            if dirty:
+                bits[-1] = True
+            return None
+        if line_addr in tags:
+            # re-fill: promote to MRU position, sticky dirty bit
+            pos = tags.index(line_addr)
+            was_dirty = bits.pop(pos)
+            tags.append(tags.pop(pos))
+            bits.append(was_dirty or dirty)
+            return None
+        victim = None
+        if len(tags) >= self.assoc:
+            victim = (tags.pop(0), bits.pop(0))
+            self.n_evictions += 1
+        tags.append(line_addr)
+        bits.append(dirty)
+        return victim
+
+    def warm_fill(
+        self, line_addr: int, *, promote: bool = False, owner: int = 0
+    ) -> tuple[int, bool] | None:
+        tags, bits = self._set(line_addr & self._set_mask)
+        if line_addr in tags:
+            if promote and self._promote_on_hit:
+                pos = tags.index(line_addr)
+                if pos != len(tags) - 1:
+                    tags.append(tags.pop(pos))
+                    bits.append(bits.pop(pos))
+            return None
+        victim = None
+        if len(tags) >= self.assoc:
+            victim = (tags.pop(0), bits.pop(0))
+            self.n_evictions += 1
+        tags.append(line_addr)
+        bits.append(False)
+        return victim
+
+    def mark_dirty(self, line_addr: int) -> None:
+        tags, bits = self._set(line_addr & self._set_mask)
+        if line_addr in tags:
+            bits[tags.index(line_addr)] = True
+
+    def invalidate(self, line_addr: int) -> bool:
+        tags, bits = self._set(line_addr & self._set_mask)
+        if line_addr in tags:
+            pos = tags.index(line_addr)
+            del tags[pos]
+            del bits[pos]
+            return True
+        return False
+
+    def reset(self) -> None:
+        if self._sparse:
+            self._tags.clear()
+            self._dirty.clear()
+        else:
+            for tags in self._tags:
+                if tags:
+                    tags.clear()
+            for bits in self._dirty:
+                if bits:
+                    bits.clear()
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_evictions = 0
+        self.generation += 1
+
+    def occupancy(self) -> int:
+        if self._sparse:
+            return sum(len(tags) for tags in self._tags.values())
+        return sum(len(tags) for tags in self._tags)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "hits": self.n_hits,
+            "misses": self.n_misses,
+            "evictions": self.n_evictions,
+            "occupancy": self.occupancy(),
+        }
+
+    def lines_in_set(self, set_index: int) -> list[int]:
+        if self._sparse:
+            return list(self._tags.get(set_index, ()))
+        return list(self._tags[set_index])
+
+    # ------------------------------------------------------------------
+    # checkpointing (Snapshotable) — byte-identical to SetAssocCache
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        if self._sparse:
+            sets = [
+                [index, list(tags), list(self._dirty[index])]
+                for index, tags in self._tags.items()
+                if tags
+            ]
+        else:
+            sets = [
+                [index, list(tags), list(self._dirty[index])]
+                for index, tags in enumerate(self._tags)
+                if tags
+            ]
+        return {
+            "sets": sets,
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "n_evictions": self.n_evictions,
+            "generation": self.generation,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if self._sparse:
+            self._tags.clear()
+            self._dirty.clear()
+        else:
+            for tags in self._tags:
+                if tags:
+                    tags.clear()
+            for bits in self._dirty:
+                if bits:
+                    bits.clear()
+        for index, lines, dirty_bits in state["sets"]:
+            tags, bits = self._set(index)
+            tags.extend(lines)
+            bits.extend(dirty_bits)
+        self.n_hits = state["n_hits"]
+        self.n_misses = state["n_misses"]
+        self.n_evictions = state["n_evictions"]
+        self.generation = state["generation"]

@@ -165,7 +165,7 @@ class Simulation:
         #: switches back to the one-op-per-iteration reference loop (the
         #: two must produce identical results — see tests/parallel/)
         self.fast_forward = fast_forward
-        self.chip = Chip(machine, accountant, bus=bus)
+        self.chip = self._build_chip(machine, accountant, bus)
         self.sync = SyncManager(
             program.n_threads,
             lock_fifo_handoff=getattr(program, "lock_fifo_handoff", False),
@@ -202,6 +202,12 @@ class Simulation:
         self._spin_threshold = (
             override if override is not None else machine.sync.spin_threshold
         )
+
+    def _build_chip(self, machine, accountant, bus) -> Chip:
+        """Engine-backend hook: construct the chip model.  Subclass
+        backends (``engine=vectorized``) substitute alternate cache
+        stores here; everything else about the chip stays shared."""
+        return Chip(machine, accountant, bus=bus)
 
     # ------------------------------------------------------------------
     # main loop

@@ -1,0 +1,471 @@
+"""Vectorized engine backend: flat runtime state + event-horizon jumps.
+
+:class:`VectorizedSimulation` is the ``engine="vectorized"`` component —
+a drop-in :class:`~repro.sim.engine.Simulation` subclass whose results
+(harvested ``sim.*`` metrics, speedup stacks, journals, checkpoints)
+are *exactly* equal to the reference engine's, but which gets there
+faster on three fronts:
+
+1. **Flat runtime state.**  The L1s, the LLC and the accounting ATD tag
+   stores run on :class:`~repro.sim.cache_flat.FlatSetAssocCache` —
+   per-set parallel position arrays whose layout is the PR-5 checkpoint
+   format itself — whenever the configured replacement policy is
+   front-evicting (``lru``/``fifo``).  ``state_dict()`` output is
+   byte-identical to the reference stores, so checkpoints cross
+   backends freely.
+
+2. **Fused warmup kernel.**  Cache warmup is the dominant phase of a
+   single cell (55–75% of wall on the dev container).  The per-thread
+   warm address lists are materialized and round-robin-interleaved with
+   numpy, line/set indices are computed as bulk array ops, and the
+   per-line ``warm_line`` chain (LLC warm-fill -> inclusive drop ->
+   ATD warm -> L1 fill -> directory bookkeeping) is inlined into one
+   loop over the flat arrays.  Warmup invariants make the inlining
+   exact: no stores happen during warmup, so every L1 line is clean and
+   the coherence invalid-tag sets stay empty.
+
+3. **Spin event-horizon batching.**  A spinning thread re-executes an
+   identical (compute, load) iteration whose cost is a constant
+   ``c = ceil(spin_iter_instrs/width) + 1 + l1_hit_latency`` cycles, and
+   nothing another core does can be observed before the scheduling
+   horizon (the second-earliest core's clock).  The engine therefore
+   computes the number of iterations to the core's *next interesting
+   event* — the horizon, the spin-exit/yield threshold, the watchdog
+   stride boundary, or ``max_cycles`` — and jumps there in one closed
+   -form step, applying the per-iteration counter and spin-detector
+   effects k-fold.  Contention windows (lock handoff, barrier release,
+   outstanding misses, a non-empty run queue) fall back to the
+   reference per-iteration path, as does any non-spin work (which the
+   reference block-fast-forward already handles).
+
+numpy is required (import-guarded: ``engine="reference"`` works without
+it; requesting this engine raises :class:`~repro.errors.ConfigError`
+naming the missing extra).  Note where numpy is and is not used: bulk
+stream materialization vectorizes well, but per-op probes of 4–16-entry
+sets are faster as C-level list scans than as numpy indexing — so the
+flat stores are position-ordered Python lists, and numpy does the bulk
+math around them.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _require_numpy
+    _np = None
+
+from repro.accounting.accountant import CycleAccountant
+from repro.errors import ConfigError
+from repro.sim.cache_flat import FlatSetAssocCache
+from repro.sim.cmp import Chip
+from repro.sim.coherence import CoherenceDirectory
+from repro.sim.engine import _INFINITY, _WATCHDOG_STRIDE, Simulation
+from repro.sync import primitives as sync_pc
+
+#: what to ``pip install`` to get this backend
+NUMPY_EXTRA = "vectorized"
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise ConfigError(
+            "engine 'vectorized' requires numpy, which is not installed; "
+            f"install the '{NUMPY_EXTRA}' extra "
+            f"(pip install 'repro[{NUMPY_EXTRA}]') or pick "
+            "engine='reference'",
+            field="engine",
+        )
+
+
+def _flat_or_reference(config):
+    """Cache factory: flat arrays when the policy allows, else reference."""
+    if FlatSetAssocCache.supports(config):
+        return FlatSetAssocCache(config)
+    from repro.sim.cache import SetAssocCache
+
+    return SetAssocCache(config)
+
+
+class VectorizedSimulation(Simulation):
+    """Reference-identical engine on flat arrays with horizon batching."""
+
+    ENGINE_NAME = "vectorized"
+
+    def __init__(self, *args, **kwargs) -> None:
+        _require_numpy()
+        super().__init__(*args, **kwargs)
+        accountant = self.accountant
+        if (
+            accountant.enabled
+            and isinstance(accountant, CycleAccountant)
+            and FlatSetAssocCache.supports(self.machine.llc)
+        ):
+            accountant.replace_tag_stores(
+                lambda config: FlatSetAssocCache(config, sparse=True)
+            )
+        # Per-iteration spin cost is config-constant: one compute chunk
+        # of spin_iter_instrs, one dependent L1-hit load.
+        n_loop = self.machine.sync.spin_iter_instrs
+        self._spin_iter_cost = (
+            -(-n_loop // self._width) + 1 + self.machine.l1d.hit_latency
+        )
+
+    def _build_chip(self, machine, accountant, bus) -> Chip:
+        return Chip(
+            machine, accountant, bus=bus, cache_factory=_flat_or_reference
+        )
+
+    # ------------------------------------------------------------------
+    # fused warmup kernel
+    # ------------------------------------------------------------------
+
+    def _warm_caches(self) -> None:
+        warmup = self.program.warmup
+        if not warmup:
+            return
+        chip = self.chip
+        accountant = self.accountant
+        acct_enabled = accountant.enabled
+        # The fused path inlines the exact per-line effects of
+        # Chip.warm_line over flat stores and the standard directory /
+        # accountant, starting from cold state; any substitution (or a
+        # non-cold chip) falls back to the reference loop.
+        if (
+            type(chip.llc) is not FlatSetAssocCache
+            or any(type(l1) is not FlatSetAssocCache for l1 in chip.l1d)
+            or type(chip.directory) is not CoherenceDirectory
+            or (acct_enabled and type(accountant) is not CycleAccountant)
+            or chip.llc.occupancy()
+            or any(l1.occupancy() for l1 in chip.l1d)
+            or chip.directory._sharers
+        ):
+            super()._warm_caches()
+            return
+
+        np = _np
+        n_cores = self.machine.n_cores
+        streams = [np.asarray(addrs, dtype=np.int64) for addrs in warmup]
+        if any(s.size and int(s.min()) < 0 for s in streams):
+            super()._warm_caches()  # -1 is the interleave pad sentinel
+            return
+        max_len = max((s.size for s in streams), default=0)
+        if max_len == 0:
+            return
+        # Round-robin interleave across threads (column-major over a
+        # padded matrix), exactly like the reference iterator dance.
+        matrix = np.full((len(streams), max_len), -1, dtype=np.int64)
+        for tid, stream in enumerate(streams):
+            matrix[tid, : stream.size] = stream
+        addr_stream = matrix.T.ravel()
+        core_stream = np.tile(
+            np.arange(len(streams), dtype=np.int64) % n_cores, max_len
+        )
+        alive = addr_stream >= 0
+        addr_stream = addr_stream[alive]
+        core_stream = core_stream[alive]
+
+        # Bulk address math (the per-line work numpy can lift out).
+        lines = addr_stream >> chip._l1_line_shift
+
+        llc = chip.llc
+        llc_mask = llc._set_mask
+        llc_assoc = llc.assoc
+        llc_evictions = 0
+        l1_caches = chip.l1d
+        l1_tags = [l1._tags for l1 in l1_caches]
+        l1_mask = l1_caches[0]._set_mask
+        l1_assoc = l1_caches[0].assoc
+        l1_evictions = [0] * n_cores
+
+        # The loop below works in dense line-id space: np.unique remaps
+        # the (large, sparse) line addresses to 0..n_distinct-1, so the
+        # per-access inner loop touches only plain lists — no hashing.
+        # The directory's sharer map collapses to one bitmask int per
+        # line id (the map mirrors L1 contents exactly during warmup:
+        # fills add, evictions remove, nothing else runs), rebuilt as a
+        # dict afterwards.  ``order`` records each id's latest
+        # absent->present transition so the rebuilt dict reproduces the
+        # reference dict's key insertion order (state_dict serializes
+        # it); invalid-tag discards are elided — those sets stay empty
+        # until the first store.
+        uniq, lid_arr = np.unique(lines, return_inverse=True)
+        lines_of = uniq.tolist()
+        l1set_of = (uniq & l1_mask).tolist()
+        owners = [0] * len(lines_of)
+        in_llc = bytearray(len(lines_of))
+        order = [0] * len(lines_of)
+        seq = 1
+        bits = [1 << c for c in range(n_cores)]
+
+        # During warmup the LLC never promotes (warm_fill is called with
+        # promote=False) and never dirties, so its per-set evolution is
+        # pure FIFO-insert: a fixed-size ring per set replaces the
+        # pop(0)/append churn with one O(1) slot write, and the slot
+        # being overwritten is exactly the front-eviction victim.  The
+        # rings are converted back to position-ordered lists afterwards.
+        # ``in_llc`` turns the O(assoc) row-membership scan into a flag
+        # probe, and the owner bitmask doubles as the O(1) L1 hit test.
+        n_llc_sets = llc_mask + 1
+        llc_rows = [[-1] * llc_assoc for _ in range(n_llc_sets)]
+        llc_ptrs = [0] * n_llc_sets
+
+        for cid, lid, lset, l1set in zip(
+            core_stream.tolist(), lid_arr.tolist(),
+            (lines & llc_mask).tolist(), (lines & l1_mask).tolist(),
+        ):
+            bitc = bits[cid]
+            mine = owners[lid]
+            if not in_llc[lid]:
+                in_llc[lid] = 1
+                row = llc_rows[lset]
+                ptr = llc_ptrs[lset]
+                victim = row[ptr]
+                row[ptr] = lid
+                llc_ptrs[lset] = ptr + 1 if ptr + 1 < llc_assoc else 0
+                if victim >= 0:
+                    in_llc[victim] = 0
+                    llc_evictions += 1
+                    # inclusive drop: every L1 copy of the victim goes
+                    mask = owners[victim]
+                    if mask:
+                        owners[victim] = 0
+                        vset = l1set_of[victim]
+                        while mask:
+                            bit = mask & -mask
+                            l1_tags[bit.bit_length() - 1][vset].remove(
+                                victim
+                            )
+                            mask ^= bit
+            # L1 fill (clean): promote a resident line to MRU, else
+            # insert, evicting the front and dropping its owner bit.
+            # Dirty bits cannot be set during warmup, so the parallel
+            # dirty arrays are rebuilt wholesale afterwards.  (The
+            # inclusive drop above never touches this access's line —
+            # the LLC victim is a different, resident line — so ``mine``
+            # read up front stays valid.)
+            if mine & bitc:
+                tags = l1_tags[cid][l1set]
+                if tags[-1] != lid:
+                    tags.append(tags.pop(tags.index(lid)))
+            else:
+                tags = l1_tags[cid][l1set]
+                if len(tags) >= l1_assoc:
+                    vlid = tags.pop(0)
+                    l1_evictions[cid] += 1
+                    owners[vlid] -= bitc  # bit always set (mirror)
+                tags.append(lid)
+                if mine:
+                    owners[lid] = mine | bitc
+                else:
+                    owners[lid] = bitc
+                    order[lid] = seq
+                    seq += 1
+
+        # Ring -> position order: slot ptr is the oldest live entry of a
+        # full set; a set still filling holds slots [0, ptr).
+        llc_store_tags = llc._tags
+        llc_store_dirty = llc._dirty
+        for lset, row in enumerate(llc_rows):
+            ptr = llc_ptrs[lset]
+            if row[ptr] < 0:
+                ordered = row[:ptr]
+            else:
+                ordered = row[ptr:] + row[:ptr]
+            if ordered:
+                llc_store_tags[lset] = [lines_of[i] for i in ordered]
+                llc_store_dirty[lset] = [False] * len(ordered)
+        llc.n_evictions += llc_evictions
+        for cid, count in enumerate(l1_evictions):
+            l1 = l1_caches[cid]
+            l1.n_evictions += count
+            l1_dirty = l1._dirty
+            store_tags = l1_tags[cid]
+            for set_index, tags in enumerate(store_tags):
+                if tags:
+                    store_tags[set_index] = [lines_of[i] for i in tags]
+                    l1_dirty[set_index] = [False] * len(tags)
+
+        # Owner bitmasks -> sharer sets, in reference insertion order.
+        sharers = chip.directory._sharers
+        live = sorted(
+            (order[lid], lid) for lid, mask in enumerate(owners) if mask
+        )
+        for _, lid in live:
+            mask = owners[lid]
+            holders = set()
+            while mask:
+                bit = mask & -mask
+                holders.add(bit.bit_length() - 1)
+                mask ^= bit
+            sharers[lines_of[lid]] = holders
+
+        if acct_enabled:
+            self._warm_atds(accountant, core_stream, addr_stream)
+
+    def _warm_atds(self, accountant, core_stream, addr_stream) -> None:
+        """ATD side of warmup, as a second pass over the sampled subset.
+
+        ATD state depends only on its own tag array, so it can run
+        separately from the LLC/L1/directory loop — and only 1 in
+        ``atd_sample_period`` sets is sampled, so filtering the stream
+        down with numpy first makes this pass short.
+        """
+        chip = self.chip
+        atd_sets = (addr_stream >> chip._llc_line_shift) & chip._llc_set_mask
+        oracle = accountant.oracle_atds
+        period = self.machine.accounting.atd_sample_period
+        sampled = atd_sets % period == period // 2
+        if oracle is not None or not all(
+            type(atd._tags) is FlatSetAssocCache for atd in accountant.atds
+        ):
+            # oracle ATDs sample every set — no filtering win, and the
+            # per-access call handles both directories exactly
+            warm_llc_access = accountant.warm_llc_access
+            for cid, line, sset in zip(
+                core_stream.tolist(),
+                (addr_stream >> chip._l1_line_shift).tolist(),
+                atd_sets.tolist(),
+            ):
+                warm_llc_access(cid, line, sset)
+            return
+        lines = (addr_stream >> chip._l1_line_shift)[sampled]
+        cores = core_stream[sampled]
+        ssets = atd_sets[sampled]
+        atd_tag_dicts = [atd._tags._tags for atd in accountant.atds]
+        assoc = accountant.atds[0]._tags.assoc
+        promote = accountant.atds[0]._tags._promote_on_hit
+        evictions = [0] * len(atd_tag_dicts)
+        # inlined sparse FlatSetAssocCache.warm_fill(promote=True):
+        # LRU promotes on a warm hit, FIFO does not
+        for cid, line, sset in zip(
+            cores.tolist(), lines.tolist(), ssets.tolist()
+        ):
+            store = atd_tag_dicts[cid]
+            row = store.get(sset)
+            if row is None:
+                store[sset] = [line]
+            elif line in row:
+                if promote and row[-1] != line:
+                    row.append(row.pop(row.index(line)))
+            else:
+                if len(row) >= assoc:
+                    row.pop(0)
+                    evictions[cid] += 1
+                row.append(line)
+        for cid, count in enumerate(evictions):
+            store = accountant.atds[cid]._tags
+            store.n_evictions += count
+            dirty = store._dirty
+            for sset, row in store._tags.items():
+                dirty[sset] = [False] * len(row)
+
+    # ------------------------------------------------------------------
+    # spin event-horizon batching
+    # ------------------------------------------------------------------
+
+    def _fast_forward_block(
+        self, core, max_cycles, livelock_window, steps
+    ) -> int:
+        thread = core.current
+        if thread is not None and thread.spin is not None:
+            return self._spin_horizon_jump(
+                core, thread, max_cycles, livelock_window, steps
+            )
+        return super()._fast_forward_block(
+            core, max_cycles, livelock_window, steps
+        )
+
+    def _spin_horizon_jump(
+        self, core, thread, max_cycles, livelock_window, steps
+    ) -> int:
+        """Jump a quiescent spin to the core's next interesting event.
+
+        Every batched iteration is one the reference loop would
+        inevitably execute next: the core stays strictly earliest while
+        its clock is below the horizon, only this core runs (so the
+        lock/barrier exit condition cannot turn true mid-batch), the
+        spin load hits L1 with no outstanding misses (constant cost and
+        no memory-system mutation beyond counters), and the batch stops
+        short of the yield threshold, any watchdog-stride step, and
+        ``max_cycles`` so those paths execute through the reference
+        code on exactly the reference step/cycle.  Anything else —
+        return to the per-iteration loop.
+        """
+        if core.queue:
+            return steps
+        cid = core.core_id
+        chip = self.chip
+        if chip.has_outstanding(cid):
+            return steps
+        ctx = thread.spin
+        obj = ctx.obj
+        if ctx.kind == "lock":
+            if obj.is_free or obj.holder is thread:
+                return steps
+            spin_addr = obj.addr
+            pc_load = sync_pc.PC_LOCK_SPIN_LOAD
+        else:
+            if obj.generation != ctx.my_generation:
+                return steps
+            spin_addr = obj.gen_addr
+            pc_load = sync_pc.PC_BARRIER_SPIN_LOAD
+        l1 = chip.l1d[cid]
+        line = spin_addr >> chip._l1_line_shift
+        if not l1.contains(line):
+            return steps
+
+        cost = self._spin_iter_cost
+        now = core.now
+        # the threshold-reaching iteration yields; leave it (and one
+        # spare is fine — k must stay >= 2 to beat the reference loop)
+        k = self._spin_threshold - 1 - ctx.iters
+        limit = self._ff_limit
+        if limit != _INFINITY:
+            k_horizon = (int(limit) - now + cost - 1) // cost
+            if k_horizon < k:
+                k = k_horizon
+        if livelock_window is not None:
+            k_stride = _WATCHDOG_STRIDE - 1 - (steps % _WATCHDOG_STRIDE)
+            if k_stride < k:
+                k = k_stride
+        if max_cycles is not None:
+            if now > max_cycles:
+                return steps
+            k_cycles = (max_cycles - now) // cost + 1
+            if k_cycles < k:
+                k = k_cycles
+        if k < 2:
+            return steps
+
+        accountant = self.accountant
+        if accountant.enabled:
+            if type(accountant) is not CycleAccountant:
+                return steps
+            detector = accountant.spin_detectors[cid]
+            batch_loads = getattr(detector, "on_repeated_loads", None)
+            if batch_loads is None:
+                return steps
+            version, _writer = chip.directory.load_value(spin_addr)
+            # applied first: a table mismatch must abort before any
+            # engine state is touched (the reference path then runs)
+            if not batch_loads(pc_load, spin_addr, version, k):
+                return steps
+
+        n_per_iter = self.machine.sync.spin_iter_instrs + 1
+        delta = k * cost
+        thread.instrs += k * n_per_iter
+        thread.spin_instrs += k * n_per_iter
+        thread.gt_spin_cycles += delta
+        ctx.iters += k
+        core.now = now + delta
+        core.busy_cycles += delta
+        stats = chip.stats[cid]
+        stats.busy_cycles += delta
+        stats.instrs += k * n_per_iter
+        stats.loads += k
+        stats.l1_hits += k
+        stats.stall_cycles += k * self.machine.l1d.hit_latency
+        # the spin line is already MRU (the previous iteration's load
+        # promoted it), so k further lookups only bump the hit counter
+        l1.n_hits += k
+        return steps + k

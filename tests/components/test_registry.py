@@ -23,8 +23,10 @@ class TestResolution:
         assert available("spin_detector") == ("li", "tian")
         assert available("page_policy") == ("closed", "open")
         assert available("scheduler") == ("earliest",)
+        assert available("engine") == ("reference", "vectorized")
         assert kinds() == (
-            "page_policy", "replacement", "scheduler", "spin_detector",
+            "engine", "page_policy", "replacement", "scheduler",
+            "spin_detector",
         )
 
     def test_resolve_returns_factory(self):

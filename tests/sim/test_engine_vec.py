@@ -1,0 +1,332 @@
+"""Differential suite: the vectorized engine against the reference.
+
+The vectorized backend is only allowed to be *faster* — never
+different.  Every test here pins one slice of that equality contract:
+
+* the six golden speedup stacks are byte-identical to the checked-in
+  reference fixtures when run under ``--engine vectorized``;
+* random small programs (hypothesis) produce identical full state
+  trees and accountant snapshots under both backends;
+* injected faults degrade both backends identically;
+* a checkpoint saved by either backend resumes under the other and
+  converges on the reference run's exact final state (portability in
+  both directions);
+* the watchdog — livelock detection and the ``EngineSnapshot``
+  post-mortem — fires at the same cycle with the same snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+pytest.importorskip("numpy", reason="the vectorized engine needs numpy")
+
+from hypothesis import given, settings
+
+from repro.accounting.accountant import CycleAccountant
+from repro.checkpoint import (
+    CheckpointHook,
+    CheckpointPolicy,
+    cell_descriptor,
+    resume_simulation,
+)
+from repro.config import MachineConfig, RunConfig
+from repro.errors import ConfigError, LivelockError, SimulationError
+from repro.experiments.runner import run_experiment
+from repro.robustness.faults import make_fault
+from repro.sim.engine import Simulation
+from repro.sim.engine_vec import VectorizedSimulation
+from repro.workloads.spec import build_program
+from repro.workloads.suite import by_name
+
+from tests.conftest import lock_step_program
+from tests.golden.test_golden_stacks import (
+    GOLDEN_CELLS,
+    MAX_CYCLES,
+    SCALE,
+    _fixture_path,
+    diff_stacks,
+    stack_to_dict,
+)
+from tests.sim.test_watchdog import livelock_program
+from tests.test_property_engine import programs
+
+ENGINE_CLASSES = {
+    "reference": Simulation,
+    "vectorized": VectorizedSimulation,
+}
+
+
+def canon(state: dict) -> str:
+    return json.dumps(state, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# golden stacks
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,n_threads", GOLDEN_CELLS,
+    ids=[f"{n}:{t}" for n, t in GOLDEN_CELLS],
+)
+def test_golden_stack_identical_under_vectorized(name, n_threads):
+    """The reference-generated golden fixtures must hold byte-for-byte
+    when the whole experiment runs under the vectorized backend."""
+    path = _fixture_path(name, n_threads)
+    assert path.exists(), f"missing golden fixture {path}"
+    spec = by_name(name)
+    machine = MachineConfig(n_cores=n_threads)
+    result = run_experiment(
+        spec.full_name, machine,
+        build_program(spec, n_threads, scale=SCALE),
+        build_program(spec, 1, scale=SCALE),
+        max_cycles=MAX_CYCLES,
+        on_timeout="truncate",
+        engine="vectorized",
+    )
+    expected = json.loads(path.read_text())
+    diff = diff_stacks(expected, stack_to_dict(result.stack))
+    assert not diff, (
+        f"{name}:{n_threads} diverged from the reference fixture under "
+        f"the vectorized engine:\n  " + "\n  ".join(diff)
+    )
+
+
+def test_full_state_tree_parity_on_suite_cell():
+    """Not just the stack: the complete serialized state tree (caches,
+    directory, ATDs, detectors, threads, sync) matches exactly."""
+    spec = by_name("cholesky")
+    machine = MachineConfig(n_cores=4)
+    states = {}
+    for engine, cls in ENGINE_CLASSES.items():
+        accountant = CycleAccountant(machine)
+        sim = cls(machine, build_program(spec, 4, scale=SCALE), accountant)
+        sim.run(max_cycles=MAX_CYCLES, on_timeout="truncate")
+        states[engine] = canon(sim.state_dict())
+    assert states["reference"] == states["vectorized"]
+
+
+# ----------------------------------------------------------------------
+# property-based differential fuzzing
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_random_programs_state_and_accountant_parity(case):
+    """Hypothesis programs (locks, barriers, stores, shared lines) land
+    on identical engine state and accountant counters under both
+    backends — including the spin-horizon fast path inside contended
+    critical sections."""
+    factory, n_threads = case
+    machine = MachineConfig(n_cores=n_threads)
+    finals = {}
+    for engine, cls in ENGINE_CLASSES.items():
+        accountant = CycleAccountant(machine)
+        sim = cls(machine, factory(), accountant)
+        result = sim.run(max_cycles=10**8)
+        finals[engine] = (
+            result.total_cycles,
+            result.total_instrs,
+            canon(sim.state_dict()),
+            accountant.snapshot(),
+        )
+    assert finals["reference"] == finals["vectorized"]
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["mem-spike", "barrier-skew"])
+def test_injected_fault_degrades_both_backends_identically(kind):
+    machine = MachineConfig(n_cores=4)
+    spec = by_name("cholesky")
+    finals = {}
+    for engine, cls in ENGINE_CLASSES.items():
+        program = build_program(spec, 4, scale=0.05)
+        # seeded injector: same fault instance parameters on both sides
+        program, faulted = make_fault(kind, seed=7)(program, machine)
+        accountant = CycleAccountant(faulted)
+        sim = cls(faulted, program, accountant)
+        result = sim.run(max_cycles=2_000_000, on_timeout="truncate")
+        finals[engine] = (result.total_cycles, canon(sim.state_dict()))
+    assert finals["reference"] == finals["vectorized"]
+
+
+def test_deadlock_fault_post_mortem_parity():
+    """A deadlock fault raises on both backends with the same
+    EngineSnapshot post-mortem (quarantine parity)."""
+    machine = MachineConfig(n_cores=4)
+    spec = by_name("cholesky")
+    snapshots = {}
+    for engine, cls in ENGINE_CLASSES.items():
+        program = build_program(spec, 4, scale=0.05)
+        program, faulted = make_fault("deadlock", seed=3)(program, machine)
+        sim = cls(faulted, program, CycleAccountant(faulted))
+        with pytest.raises(SimulationError) as err:
+            sim.run(max_cycles=2_000_000)
+        assert err.value.snapshot is not None
+        snapshots[engine] = err.value.snapshot.to_dict()
+    assert snapshots["reference"] == snapshots["vectorized"]
+
+
+# ----------------------------------------------------------------------
+# cross-backend checkpoint portability
+# ----------------------------------------------------------------------
+
+CKPT_BENCH = "cholesky"
+CKPT_N = 4
+CKPT_SCALE = 0.05
+CKPT_MAX_CYCLES = 2_000_000
+CKPT_EVERY = 3_000  # the scale-0.05 cell runs ~6.4k cycles -> 2 saves
+
+
+@pytest.mark.parametrize(
+    "save_engine,resume_engine",
+    [("reference", "vectorized"), ("vectorized", "reference")],
+)
+def test_checkpoint_portability_across_backends(
+    tmp_path, save_engine, resume_engine
+):
+    """A mid-run checkpoint written by one backend resumes under the
+    other and converges on the uninterrupted run's exact final state —
+    the descriptor deliberately does not pin the saving engine."""
+    machine = MachineConfig(n_cores=CKPT_N)
+    spec = by_name(CKPT_BENCH)
+
+    clean_sim = Simulation(
+        machine, build_program(spec, CKPT_N, scale=CKPT_SCALE),
+        CycleAccountant(machine),
+    )
+    clean_result = clean_sim.run(
+        max_cycles=CKPT_MAX_CYCLES, on_timeout="truncate"
+    )
+    clean_state = canon(clean_sim.state_dict())
+
+    descriptor = cell_descriptor(
+        machine, CKPT_BENCH, CKPT_N, CKPT_SCALE,
+        max_cycles=CKPT_MAX_CYCLES,
+    )
+    hook = CheckpointHook(
+        tmp_path / "cell.ckpt", descriptor,
+        CheckpointPolicy(every_cycles=CKPT_EVERY),
+    )
+    saver = ENGINE_CLASSES[save_engine](
+        machine, build_program(spec, CKPT_N, scale=CKPT_SCALE),
+        CycleAccountant(machine),
+    )
+    saver.run(
+        max_cycles=CKPT_MAX_CYCLES, on_timeout="truncate", checkpoint=hook,
+    )
+    assert hook.n_saves >= 1
+    # an armed hook never perturbs the run, whichever backend observes
+    assert canon(saver.state_dict()) == clean_state
+
+    resumed_sim, header = resume_simulation(
+        hook.path, expected_descriptor=descriptor, engine=resume_engine,
+    )
+    assert type(resumed_sim) is ENGINE_CLASSES[resume_engine]
+    assert 0 < header["cycle"] < clean_result.total_cycles
+    resumed_result = resumed_sim.run(
+        max_cycles=CKPT_MAX_CYCLES, on_timeout="truncate"
+    )
+    assert canon(resumed_sim.state_dict()) == clean_state
+    assert resumed_result.total_cycles == clean_result.total_cycles
+    assert (
+        resumed_result.thread_end_times == clean_result.thread_end_times
+    )
+
+
+# ----------------------------------------------------------------------
+# watchdog / quarantine parity
+# ----------------------------------------------------------------------
+
+
+def test_livelock_detection_parity():
+    """The seeded livelock trace trips the progress watchdog at the
+    same cycle with the same post-mortem under both backends."""
+    machine = MachineConfig(n_cores=2)
+    errors = {}
+    for engine, cls in ENGINE_CLASSES.items():
+        sim = cls(machine, livelock_program(), CycleAccountant(machine))
+        with pytest.raises(LivelockError) as err:
+            sim.run(max_cycles=10**7, livelock_window=50_000)
+        assert err.value.snapshot is not None
+        errors[engine] = err.value
+    ref, vec = errors["reference"], errors["vectorized"]
+    assert ref.snapshot.cycle == vec.snapshot.cycle
+    assert ref.snapshot.to_dict() == vec.snapshot.to_dict()
+    assert str(ref) == str(vec)
+
+
+def test_livelock_truncation_parity():
+    machine = MachineConfig(n_cores=2)
+    finals = {}
+    for engine, cls in ENGINE_CLASSES.items():
+        sim = cls(machine, livelock_program(), CycleAccountant(machine))
+        result = sim.run(
+            max_cycles=10**7, livelock_window=50_000, on_timeout="truncate",
+        )
+        assert result.truncated
+        finals[engine] = (
+            result.truncation_reason,
+            result.total_cycles,
+            canon(sim.state_dict()),
+        )
+    assert finals["reference"] == finals["vectorized"]
+
+
+def test_max_cycles_post_mortem_parity(machine4):
+    snapshots = {}
+    for engine, cls in ENGINE_CLASSES.items():
+        sim = cls(machine4, lock_step_program(4, iters=200))
+        with pytest.raises(SimulationError) as err:
+            sim.run(max_cycles=5_000)
+        assert err.value.snapshot is not None
+        snapshots[engine] = err.value.snapshot.to_dict()
+    assert snapshots["reference"] == snapshots["vectorized"]
+
+
+# ----------------------------------------------------------------------
+# registration, config plumbing, and the numpy guard
+# ----------------------------------------------------------------------
+
+
+def test_engine_component_kind_registered():
+    from repro.components.registry import available, resolve
+
+    assert set(available("engine")) >= {"reference", "vectorized"}
+    machine = MachineConfig(n_cores=2)
+    program = build_program(by_name("blackscholes_small"), 2, scale=0.05)
+    assert type(resolve("engine", "reference")(machine, program)) is (
+        Simulation
+    )
+    program = build_program(by_name("blackscholes_small"), 2, scale=0.05)
+    assert type(resolve("engine", "vectorized")(machine, program)) is (
+        VectorizedSimulation
+    )
+
+
+def test_run_config_validates_engine_choice():
+    assert RunConfig(engine="vectorized").engine == "vectorized"
+    with pytest.raises(ConfigError) as err:
+        RunConfig(engine="bogus")
+    assert "engine" in str(err.value)
+
+
+def test_missing_numpy_raises_config_error_naming_extra(monkeypatch):
+    import repro.sim.engine_vec as engine_vec
+
+    monkeypatch.setattr(engine_vec, "_np", None)
+    machine = MachineConfig(n_cores=2)
+    program = build_program(by_name("blackscholes_small"), 2, scale=0.05)
+    with pytest.raises(ConfigError) as err:
+        VectorizedSimulation(machine, program, CycleAccountant(machine))
+    message = str(err.value)
+    assert "numpy" in message
+    assert "vectorized" in message  # names the extra to install
