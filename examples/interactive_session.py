@@ -1,0 +1,67 @@
+"""Interactive perturb -> measure loop on one simulated run.
+
+The batch path answers "what is the speedup stack of this cell?"; a
+Session answers the follow-up diagnostic questions: what does the stack
+look like *so far*, what happens to it if the LLC goes cold or memory
+latency doubles mid-run, and does the bottleneck ranking survive the
+perturbation?  Run with::
+
+    PYTHONPATH=src python examples/interactive_session.py
+"""
+
+from repro import Session
+from repro.core.rendering import render_stack
+
+BENCH = "cholesky"
+N_THREADS = 4
+SCALE = 0.2
+BUDGET = 50_000_000
+
+
+def main() -> None:
+    # -- 1. step a clean run and watch the partial stack form ----------
+    session = Session.from_config(
+        BENCH, N_THREADS, scale=SCALE, max_cycles=BUDGET,
+    )
+    session.step(5_000)
+    print(session)
+    print()
+    print(session.render_stack())
+    print()
+
+    # -- 2. snapshot here so the perturbed run can be replayed ---------
+    midpoint = session.snapshot()
+
+    clean = session.run().stack()
+    print("clean run:")
+    print(render_stack(clean))
+    print()
+
+    # -- 3. same run, but the LLC goes cold at the midpoint ------------
+    perturbed = Session.from_config(
+        BENCH, N_THREADS, scale=SCALE, max_cycles=BUDGET,
+    ).load(midpoint)
+    perturbed.inject("llc_flush")
+    perturbed.inject("mem_spike", factor=2.0)
+    shocked = perturbed.run().stack()
+    print(f"after llc_flush + mem_spike at cycle "
+          f"{perturbed.perturbations[0].split('@')[1]}:")
+    print(render_stack(shocked))
+    print()
+
+    # -- 4. compare: which components absorbed the shock? --------------
+    print(f"{'component':<22s}{'clean':>12s}{'shocked':>12s}{'delta':>10s}")
+    shocked_segments = shocked.segments()
+    for component, before in clean.segments().items():
+        after = shocked_segments[component]
+        print(f"{component.value:<22s}{before:>12.3f}{after:>12.3f}"
+              f"{after - before:>+10.3f}")
+    print()
+    print(f"clean   Tp = {clean.tp_cycles:,} cycles "
+          f"(actual speedup {clean.actual_speedup:.2f})")
+    print(f"shocked Tp = {shocked.tp_cycles:,} cycles "
+          "(no reference: perturbed runs are estimate-only)")
+
+
+if __name__ == "__main__":
+    main()

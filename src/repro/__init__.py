@@ -157,6 +157,7 @@ from repro.experiments.scenarios import (
     stack_series,
     validation_sweep,
 )
+from repro.session import Session, SessionShell, SimulationKernel
 from repro.sim.engine import SimResult, Simulation, simulate
 from repro.sim.partition import WayPartitionedCache, equal_quotas
 from repro.sim.trace import RunInterval, TraceRecorder
@@ -316,10 +317,13 @@ __all__ = [
     "save_checkpoint",
     "scaling_class",
     "SchedConfig",
+    "Session",
+    "SessionShell",
     "SimResult",
     "simulate",
     "Simulation",
     "SimulationError",
+    "SimulationKernel",
     "speedup_curves",
     "SpeedupStack",
     "STACK_ORDER",

@@ -5,6 +5,13 @@ computes the average penalty per miss from these raw event counts and
 performs the interpolation" (Section 4.7).  :class:`AccountingReport`
 is the result of that software step: per-thread cycle components, in
 cycles, ready for Equation 4.
+
+This module also owns the *partial-run* accounting surface shared by
+``repro inspect`` (checkpoints) and interactive sessions
+(:meth:`repro.session.Session.peek_stack`): a mid-run state is viewed
+through :class:`PartialRunView` — unfinished threads treated as ending
+at the current cycle, exactly how the engine watchdog closes out a
+truncated run — and rendered by :func:`render_partial_stack`.
 """
 
 from __future__ import annotations
@@ -160,3 +167,63 @@ class AccountingReport:
         if self.tp_cycles == 0:
             return 0.0
         return self.estimated_single_thread_cycles / self.tp_cycles
+
+
+# ----------------------------------------------------------------------
+# partial-run accounting (checkpoints and interactive sessions)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PartialRunView:
+    """The slice of :class:`~repro.sim.engine.SimResult` that
+    :meth:`CycleAccountant.report` reads, derived from a run that is
+    still in flight (a checkpointed state tree or a paused session).
+
+    ``report`` is pure over these four fields, so viewing a mid-run
+    state through this adapter yields the speedup stack *so far*
+    without mutating the simulation.
+    """
+
+    n_threads: int
+    total_cycles: int
+    imbalance_cycles: list[int]
+    truncated: bool = True
+
+
+def partial_run_view(
+    thread_end_times: list[int | None], now: int
+) -> PartialRunView:
+    """Build the mid-run result view from per-thread end times.
+
+    ``thread_end_times`` holds each thread's recorded end time, or
+    ``None`` for a thread that has not finished — those are treated as
+    ending at ``now`` (the frontier cycle), mirroring how the engine
+    watchdog closes out a truncated run (Section 4.6 imbalance applies
+    to the partial run unchanged).  ``truncated`` is True whenever any
+    thread was still running.
+    """
+    ends = [now if end is None else end for end in thread_end_times]
+    total = max(ends, default=now)
+    return PartialRunView(
+        n_threads=len(ends),
+        total_cycles=total,
+        imbalance_cycles=[total - end for end in ends],
+        truncated=any(end is None for end in thread_end_times),
+    )
+
+
+def render_partial_stack(stack, *, cycle: int, reason: str = "") -> str:
+    """One partial speedup stack with its mid-run provenance line.
+
+    The shared formatter behind ``repro inspect`` and the session
+    REPL's ``stack`` command: a header naming the cycle the stack was
+    cut at (and why), then the standard stack rendering.
+    """
+    # Lazy import: repro.core.stack imports this module at load time.
+    from repro.core.rendering import render_stack
+
+    provenance = f"partial stack at cycle {cycle}"
+    if reason:
+        provenance += f" ({reason})"
+    return provenance + "\n" + render_stack(stack)

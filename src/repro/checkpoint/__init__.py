@@ -32,6 +32,7 @@ from repro.checkpoint.inspect import CheckpointReport, inspect_checkpoint
 from repro.checkpoint.policy import CheckpointHook, CheckpointPolicy
 from repro.checkpoint.resume import (
     cell_descriptor,
+    descriptor_diff,
     fault_descriptor,
     resume_simulation,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "CheckpointReport",
     "cell_descriptor",
     "config_hash",
+    "descriptor_diff",
     "fault_descriptor",
     "inspect_checkpoint",
     "load_checkpoint",

@@ -8,6 +8,12 @@ unfinished threads are treated as ending at the checkpoint cycle
 (exactly how the engine watchdog closes out a truncated run).  The
 result is the speedup stack *so far*: useful for peeking at a
 long-running sweep cell, or post-mortem on a watchdog/fault checkpoint.
+
+The partial-run accounting itself lives in
+:mod:`repro.accounting.report` (:func:`partial_run_view`,
+:func:`render_partial_stack`) and is shared with interactive sessions
+(:meth:`repro.session.Session.peek_stack`) — one formatter, two
+front-ends.
 """
 
 from __future__ import annotations
@@ -16,23 +22,12 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.accounting.accountant import CycleAccountant
+from repro.accounting.report import partial_run_view, render_partial_stack
 from repro.checkpoint.format import load_checkpoint
 from repro.config import machine_from_dict
-from repro.core.rendering import render_stack
 from repro.core.stack import SpeedupStack, build_stack
 from repro.osmodel.thread import FINISHED
 from repro.robustness.snapshot import EngineSnapshot, snapshot_from_state
-
-
-@dataclass
-class _PartialResult:
-    """The slice of :class:`~repro.sim.engine.SimResult` the accounting
-    post-processing reads, derived from a checkpointed state tree."""
-
-    n_threads: int
-    total_cycles: int
-    imbalance_cycles: list[int]
-    truncated: bool = True
 
 
 @dataclass
@@ -60,7 +55,9 @@ class CheckpointReport:
             lines.append("  (no accounting state — no stack to render)")
         else:
             lines.append("")
-            lines.append(render_stack(self.stack))
+            lines.append(render_partial_stack(
+                self.stack, cycle=header["cycle"], reason=header["reason"],
+            ))
         return "\n".join(lines)
 
 
@@ -75,16 +72,12 @@ def inspect_checkpoint(path: str | Path) -> CheckpointReport:
         accountant = CycleAccountant(machine)
         accountant.load_state_dict(state["accountant"])
         now = max((core["now"] for core in state["cores"]), default=0)
-        end_times = [
-            t["end_time"] if t["state"] == FINISHED else now
-            for t in state["threads"]
-        ]
-        total = max(end_times, default=now)
-        partial = _PartialResult(
-            n_threads=len(state["threads"]),
-            total_cycles=total,
-            imbalance_cycles=[total - end for end in end_times],
-            truncated=any(t["state"] != FINISHED for t in state["threads"]),
+        partial = partial_run_view(
+            [
+                t["end_time"] if t["state"] == FINISHED else None
+                for t in state["threads"]
+            ],
+            now,
         )
         stack = build_stack(descriptor["benchmark"], accountant.report(partial))
     return CheckpointReport(header=header, snapshot=snapshot, stack=stack)

@@ -76,6 +76,40 @@ def cell_descriptor(
     }
 
 
+def descriptor_diff(
+    expected: dict[str, Any], actual: dict[str, Any], prefix: str = ""
+) -> list[str]:
+    """Human-readable field-level differences between two descriptors.
+
+    The config hash tells you *that* a checkpoint belongs to a
+    different experiment; this tells you *where* — one
+    ``"path: checkpoint X, config Y"`` line per mismatched leaf, nested
+    dicts flattened to dotted paths.  Used by
+    :meth:`repro.session.Session.from_checkpoint` to turn the raw hash
+    refusal into a :class:`~repro.errors.ConfigError` naming the
+    fields.
+    """
+    diffs: list[str] = []
+    for key in sorted(set(expected) | set(actual)):
+        path = f"{prefix}{key}"
+        if key not in expected:
+            diffs.append(f"{path}: checkpoint {actual[key]!r}, "
+                         "config <absent>")
+        elif key not in actual:
+            diffs.append(f"{path}: checkpoint <absent>, "
+                         f"config {expected[key]!r}")
+        elif isinstance(expected[key], dict) and isinstance(actual[key], dict):
+            diffs.extend(
+                descriptor_diff(expected[key], actual[key], f"{path}.")
+            )
+        elif expected[key] != actual[key]:
+            diffs.append(
+                f"{path}: checkpoint {actual[key]!r}, "
+                f"config {expected[key]!r}"
+            )
+    return diffs
+
+
 def _replay_fault(
     descriptor: dict[str, Any],
     fault_desc: dict[str, Any],

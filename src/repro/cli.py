@@ -68,7 +68,12 @@ from repro.core.rendering import (
     render_tree,
 )
 from repro.core.whatif import advice
-from repro.errors import CheckpointError, ConfigError, TraceParseError
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    ReproError,
+    TraceParseError,
+)
 from repro.experiments.bench import render_bench, run_bench, write_bench
 from repro.experiments.runner import (
     BatchRunner,
@@ -306,6 +311,43 @@ def cmd_inspect(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def cmd_session(args) -> int:
+    """``repro session``: an interactive (or ``--run``-scripted) shell
+    over :class:`~repro.session.Session` — step, peek at the partial
+    stack, perturb, continue."""
+    from repro.session import Session, SessionShell
+
+    try:
+        if args.from_checkpoint:
+            session = Session.from_checkpoint(
+                args.from_checkpoint,
+                experiment=args.config,
+                engine=args.engine,
+                events=args.events,
+            )
+        else:
+            if not args.benchmark:
+                print("error: a benchmark (or --from-checkpoint) is "
+                      "required", file=sys.stderr)
+                return 2
+            session = Session.from_config(
+                args.benchmark, args.threads,
+                experiment=args.config,
+                scale=args.scale,
+                engine=args.engine,
+                max_cycles=args.max_cycles,
+                livelock_window=args.livelock_window,
+                events=args.events,
+            )
+    except (ReproError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    shell = SessionShell(session)
+    if args.run:
+        return shell.run_script(args.run)
+    return shell.interact()
 
 
 def cmd_curve(args) -> int:
@@ -1070,6 +1112,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("path", help="checkpoint file (.ckpt)")
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "session",
+        help="interactive steppable simulation session (REPL or --run "
+             "script)",
+    )
+    p.add_argument("benchmark", nargs="?", default=None,
+                   help="suite benchmark (omit with --from-checkpoint)")
+    p.add_argument("--config", metavar="FILE", default=None,
+                   help="experiment config file; explicit flags override")
+    p.add_argument("-n", "--threads", type=int, default=None,
+                   help="threads == cores (default: config's first count)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale factor")
+    p.add_argument("--engine", default=None, metavar="NAME",
+                   help="engine backend: reference (default) or vectorized")
+    p.add_argument("--max-cycles", type=int, default=None,
+                   help="watchdog budget in simulated cycles")
+    p.add_argument("--livelock-window", type=int, default=None,
+                   help="no-progress watchdog window in scheduling steps")
+    p.add_argument("--from-checkpoint", metavar="CKPT", default=None,
+                   help="start from a saved checkpoint instead of cycle 0")
+    p.add_argument("--events", action="store_true",
+                   help="attach an observability bus ('events' command)")
+    p.add_argument("--run", metavar="SCRIPT", default=None,
+                   help="semicolon-separated commands, e.g. "
+                        "'step 5000; stack; inject llc_flush; run; stack'")
+    p.set_defaults(func=cmd_session)
 
     return parser
 

@@ -20,6 +20,11 @@ checkpoint/resume through a :class:`~repro.robustness.journal.SweepJournal`,
 watchdog-truncated partial results, and a failure-report aggregator —
 one bad (benchmark, N) cell never kills a sweep.  See
 ``docs/robustness.md``.
+
+Every run path here drives its engine through the steppable
+:class:`~repro.session.kernel.SimulationKernel` (the batch lifecycle is
+its no-pause degenerate case), so the batch protocol and interactive
+:class:`~repro.session.Session`\\ s share one simulation host.
 """
 
 from __future__ import annotations
@@ -31,7 +36,6 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.accounting.accountant import CycleAccountant
 from repro.accounting.report import AccountingReport
 from repro.checkpoint import (
     CheckpointHook,
@@ -61,6 +65,7 @@ from repro.observability.spans import maybe_span
 from repro.robustness.drain import DrainableHook, DrainRequested
 from repro.robustness.faults import CellFault, make_fault
 from repro.robustness.journal import SweepJournal
+from repro.session.kernel import SimulationKernel
 from repro.sim.engine import SimResult, Simulation
 from repro.workloads.program import Program
 from repro.workloads.spec import BenchmarkSpec, build_program
@@ -101,20 +106,6 @@ class ExperimentResult:
         return (mt_real - st_instrs) / st_instrs
 
 
-def _engine_factory(engine: str):
-    """Resolve an engine-backend name to its factory.
-
-    ``"engine"`` is a registry kind like ``"replacement"`` or
-    ``"scheduler"``: ``"reference"`` is the per-op loop every backend is
-    validated against, ``"vectorized"`` the flat-state backend (see
-    :mod:`repro.components.engines`).  Both produce exactly the same
-    results; backends differ only in wall-clock speed.
-    """
-    from repro.components.registry import resolve
-
-    return resolve("engine", engine)
-
-
 def run_accounted(
     machine: MachineConfig,
     program: Program,
@@ -133,16 +124,23 @@ def run_accounted(
     both the engine and the accountant.  ``checkpoint`` arms a
     :class:`~repro.checkpoint.policy.CheckpointHook` on the engine.
     ``engine`` picks the backend (results are backend-invariant).
+
+    Hosted on :class:`~repro.session.kernel.SimulationKernel` — the
+    batch path is the kernel's degenerate no-pause lifecycle, so this
+    is byte-identical to driving the engine inline.
     """
-    accountant = CycleAccountant(machine, bus=bus)
-    sim = _engine_factory(engine)(machine, program, accountant, bus=bus)
-    result = sim.run(
+    kernel = SimulationKernel(
+        machine, program,
+        accounted=True,
+        engine=engine,
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
+        bus=bus,
         checkpoint=checkpoint,
     )
-    return result, accountant.report(result)
+    result = kernel.finish()
+    return result, kernel.report()
 
 
 def accounted_snapshot(
@@ -161,13 +159,16 @@ def accounted_snapshot(
     cycles — without going through report post-processing.  Region code
     differences two of these; callers here get the end-of-run totals.
     """
-    accountant = CycleAccountant(machine)
-    _engine_factory(engine)(machine, program, accountant).run(
+    kernel = SimulationKernel(
+        machine, program,
+        accounted=True,
+        engine=engine,
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
     )
-    return accountant.snapshot()
+    kernel.finish()
+    return kernel.accountant.snapshot()
 
 
 def run_reference(
@@ -184,12 +185,15 @@ def run_reference(
         raise ValueError(
             "reference run expects the single-threaded program variant"
         )
-    single_core = machine.with_cores(1)
-    return _engine_factory(engine)(single_core, program).run(
+    kernel = SimulationKernel(
+        machine.with_cores(1), program,
+        accounted=False,
+        engine=engine,
         max_cycles=max_cycles,
         livelock_window=livelock_window,
         on_timeout=on_timeout,
     )
+    return kernel.finish()
 
 
 def run_experiment(
@@ -681,24 +685,26 @@ class BatchRunner:
             sim = self._try_resume(hook, spec)
         with maybe_span(spans, "engine.advance", cat="cell"):
             if sim is not None:
-                mt_result = sim.run(
+                kernel = SimulationKernel.from_simulation(
+                    sim,
                     max_cycles=self.policy.max_cycles,
                     livelock_window=self.policy.livelock_window,
                     on_timeout="truncate",
                     checkpoint=hook,
                 )
             else:
-                mt_result, report = run_accounted(
+                kernel = SimulationKernel(
                     machine, mt_program,
+                    accounted=True,
+                    engine=self.policy.engine,
                     max_cycles=self.policy.max_cycles,
                     livelock_window=self.policy.livelock_window,
                     on_timeout="truncate",
                     bus=self.bus,
                     checkpoint=hook,
-                    engine=self.policy.engine,
                 )
-        if sim is not None:
-            report = sim.accountant.report(mt_result)
+            mt_result = kernel.finish()
+            report = kernel.report()
         if hook is not None and hook.path is not None and not mt_result.truncated:
             # clean completion: the checkpoint has nothing left to
             # resume (truncated runs keep theirs for inspect/resume

@@ -109,6 +109,11 @@ class SimResult:
     truncated: bool = False
     #: why the run was truncated: "max_cycles" or "livelock" (or None)
     truncation_reason: str | None = None
+    #: True when ``run(pause_at=...)`` returned at a step boundary with
+    #: work remaining; unlike truncation, *nothing* was mutated — thread
+    #: end times are untouched and the run continues with another
+    #: ``run()`` call (see :class:`repro.session.SimulationKernel`)
+    paused: bool = False
 
     @property
     def n_threads(self) -> int:
@@ -141,6 +146,9 @@ class SimResult:
 
 class Simulation:
     """Execute a :class:`Program` on a simulated CMP."""
+
+    #: registry name of this engine backend (subclasses override)
+    ENGINE_NAME = "reference"
 
     def __init__(
         self,
@@ -192,6 +200,12 @@ class Simulation:
         #: None); consulted once per scheduling step and on watchdog/
         #: fault exits
         self._checkpoint = None
+        # One-shot SimStarted guard: a paused-and-continued run is one
+        # logical run, so the event fires once per simulation object.
+        # Deliberately not in state_dict(): a checkpoint-restored sim is
+        # a new process-level run and re-announces itself, exactly as
+        # the pre-pause engine did.
+        self._sim_started = False
         self._scheduler = resolve("scheduler", machine.sched.policy)(machine.sched)
         self._dispatch_cost = (
             machine.sched.context_switch_cycles
@@ -220,6 +234,7 @@ class Simulation:
         livelock_window: int | None = None,
         on_timeout: str = "raise",
         checkpoint=None,
+        pause_at: int | None = None,
     ) -> SimResult:
         """Run to completion (or until the watchdog fires).
 
@@ -243,6 +258,19 @@ class Simulation:
         :meth:`load_state_dict`, ``run`` continues from the restored
         point (cache warmup is skipped — the warmed state is part of
         the checkpoint).
+
+        ``pause_at`` suspends the run — without mutating anything — at
+        the first scheduling-loop boundary whose earliest runnable core
+        clock exceeds it, returning a :class:`SimResult` flagged
+        ``paused=True``.  A paused simulation continues with another
+        ``run()`` call; because the pause check is side-effect-free and
+        every scheduling decision depends only on simulation state (all
+        of which persists on the instance), any partition of a run into
+        pauses is byte-identical to the uninterrupted run.  Block
+        executors (instruction fast-forward, spin-horizon batching) may
+        overshoot ``pause_at``: the contract is "pause at the first
+        loop-top boundary at or after this cycle", not an exact cut.
+        When both fire, the ``max_cycles`` watchdog wins over a pause.
         """
         if on_timeout not in ("raise", "truncate"):
             raise ValueError(f"on_timeout must be raise|truncate: {on_timeout!r}")
@@ -253,8 +281,9 @@ class Simulation:
             self._last_progress = self._progress_metric()
         n_threads = len(self.threads)
         fast_forward = self.fast_forward
-        if self.bus is not None:
+        if self.bus is not None and not self._sim_started:
             self.bus.emit(SimStarted(n_threads, self.machine.n_cores))
+        self._sim_started = True
         steps = self._steps
         while self._n_finished < n_threads:
             core = self._pick_core()
@@ -276,6 +305,9 @@ class Simulation:
                 raise self._error(SimulationError(
                     f"exceeded max_cycles={max_cycles} at t={core.now}"
                 ), reason="max_cycles")
+            if pause_at is not None and core.now > pause_at:
+                self._steps = steps
+                return self._pause()
             steps += 1
             if livelock_window is not None and steps % _WATCHDOG_STRIDE == 0:
                 progress = self._progress_metric()
@@ -395,6 +427,27 @@ class Simulation:
             total_cycles=now,
             truncated=True,
             truncation_reason=reason,
+        )
+
+    def _pause(self) -> SimResult:
+        """Close out a ``pause_at`` suspension with zero mutation.
+
+        Unlike :meth:`_truncate`, no thread end time is touched and no
+        event is emitted — the run is not over, merely parked between
+        scheduling steps.  ``total_cycles`` is the frontier clock (the
+        furthest any core has simulated); partial accounting over a
+        paused run goes through
+        :func:`repro.accounting.report.partial_run_view`, which treats
+        unfinished threads as ending at this frontier exactly like
+        ``repro inspect`` does for a checkpoint.
+        """
+        return SimResult(
+            machine=self.machine,
+            threads=self.threads,
+            chip=self.chip,
+            sync=self.sync,
+            total_cycles=max(core.now for core in self.cores),
+            paused=True,
         )
 
     def _warm_caches(self) -> None:

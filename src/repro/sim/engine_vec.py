@@ -38,6 +38,15 @@ faster on three fronts:
    reference per-iteration path, as does any non-spin work (which the
    reference block-fast-forward already handles).
 
+``run(pause_at=...)`` (the :class:`~repro.session.SimulationKernel`
+step boundary) is inherited unchanged from the reference engine: the
+pause check sits at the top of the scheduling loop, *outside* every
+batched jump, so a spin-horizon jump may overshoot the pause target —
+exactly like the reference block fast-forward — without ever changing
+the state trajectory.  Stepped runs therefore stay byte-identical
+across backends, and a session may hop backends mid-run through
+snapshot/restore.
+
 numpy is required (import-guarded: ``engine="reference"`` works without
 it; requesting this engine raises :class:`~repro.errors.ConfigError`
 naming the missing extra).  Note where numpy is and is not used: bulk
